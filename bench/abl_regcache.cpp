@@ -1,0 +1,35 @@
+// Ablation: the registration (pin-down) cache of section 5.  With the
+// cache disabled, every zero-copy transfer pays full registration and
+// deregistration; with buffer reuse (the common NAS pattern, per the
+// paper's citation of [15]) the cache absorbs almost all of that cost.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  benchutil::title(
+      "Ablation: registration cache (zero-copy design, reused buffers)");
+  std::printf("%8s %16s %16s %12s\n", "size", "cache on MB/s",
+              "cache off MB/s", "speedup");
+  for (std::size_t s : benchutil::sizes_pow2(32 * 1024, 1 << 20)) {
+    mpi::RuntimeConfig on = benchutil::design_config(rdmach::Design::kZeroCopy);
+    on.stack.channel.use_reg_cache = true;
+    mpi::RuntimeConfig off = on;
+    off.stack.channel.use_reg_cache = false;
+    const double bw_on = benchutil::mpi_bandwidth_mbps(on, s);
+    const double bw_off = benchutil::mpi_bandwidth_mbps(off, s);
+    std::printf("%8s %16.1f %16.1f %11.2fx\n",
+                benchutil::human_size(s).c_str(), bw_on, bw_off,
+                bw_on / bw_off);
+  }
+
+  benchutil::title("Ablation: registration cache effect on latency at 64K");
+  mpi::RuntimeConfig on = benchutil::design_config(rdmach::Design::kZeroCopy);
+  mpi::RuntimeConfig off = on;
+  off.stack.channel.use_reg_cache = false;
+  std::printf("cache on : %8.2f us\n",
+              benchutil::mpi_latency_usec(on, 64 * 1024));
+  std::printf("cache off: %8.2f us\n",
+              benchutil::mpi_latency_usec(off, 64 * 1024));
+  return 0;
+}

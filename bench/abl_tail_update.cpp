@@ -1,0 +1,28 @@
+// Ablation: delayed tail-pointer updates (section 4.3).  The piggyback
+// design batches explicit tail updates; forcing an update after every
+// consumed slot (threshold 1) recreates part of the basic design's
+// per-message pointer traffic, which shows up as extra RDMA writes and
+// lower small-message bandwidth.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  benchutil::title(
+      "Ablation: tail-update batching (piggyback design, 8 slots/ring)");
+  std::printf("%-28s %12s %14s\n", "threshold (slots)", "lat 4B (us)",
+              "bw 4K (MB/s)");
+  for (std::size_t thresh : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{7}}) {
+    mpi::RuntimeConfig cfg =
+        benchutil::design_config(rdmach::Design::kPiggyback);
+    cfg.stack.channel.tail_update_slots = thresh;
+    std::printf("%-28zu %12.2f %14.1f\n", thresh,
+                benchutil::mpi_latency_usec(cfg, 4),
+                benchutil::mpi_bandwidth_mbps(cfg, 4096));
+  }
+  std::printf(
+      "\n(larger thresholds batch more updates; the default is half the "
+      "slot count)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: the rendezvous/zero-copy switch-over threshold.  Too low and
+// mid-size messages pay the RDMA-read round trip that the ring would have
+// hidden; too high and large messages burn memory bandwidth on copies.
+// The default (32K) sits where the curves cross.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  const std::vector<std::size_t> thresholds = {8 * 1024, 16 * 1024, 32 * 1024,
+                                               64 * 1024, 128 * 1024};
+  benchutil::title(
+      "Ablation: zero-copy threshold sweep (bandwidth MB/s per threshold)");
+  std::printf("%8s", "size");
+  for (std::size_t t : thresholds) {
+    std::printf(" %9s", benchutil::human_size(t).c_str());
+  }
+  std::printf("\n");
+  for (std::size_t msg : benchutil::sizes_pow2(8 * 1024, 1 << 20)) {
+    std::printf("%8s", benchutil::human_size(msg).c_str());
+    for (std::size_t t : thresholds) {
+      mpi::RuntimeConfig cfg =
+          benchutil::design_config(rdmach::Design::kZeroCopy);
+      cfg.stack.channel.zero_copy_threshold = t;
+      std::printf(" %9.1f", benchutil::mpi_bandwidth_mbps(cfg, msg));
+    }
+    std::printf("\n");
+  }
+
+  benchutil::title(
+      "Ablation: CH3-direct rendezvous threshold sweep (bandwidth MB/s)");
+  std::printf("%8s", "size");
+  for (std::size_t t : thresholds) {
+    std::printf(" %9s", benchutil::human_size(t).c_str());
+  }
+  std::printf("\n");
+  for (std::size_t msg : benchutil::sizes_pow2(8 * 1024, 1 << 20)) {
+    std::printf("%8s", benchutil::human_size(msg).c_str());
+    for (std::size_t t : thresholds) {
+      mpi::RuntimeConfig cfg = benchutil::stack_config(
+          ch3::Stack::kCh3Direct, rdmach::Design::kPipeline);
+      cfg.stack.rndv_threshold = t;
+      std::printf(" %9.1f", benchutil::mpi_bandwidth_mbps(cfg, msg));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+# Figure-reproduction benches.  Included from the top-level CMakeLists so
+# ${CMAKE_BINARY_DIR}/bench holds only the executables.
+set(MPIB_BENCH_DIR ${CMAKE_SOURCE_DIR}/bench)
+
+function(mpib_add_bench name)
+  add_executable(${name} ${MPIB_BENCH_DIR}/${name}.cpp)
+  target_include_directories(${name} PRIVATE ${MPIB_BENCH_DIR})
+  target_link_libraries(${name} PRIVATE mpib_nas)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+mpib_add_bench(tab_raw_verbs)
+mpib_add_bench(fig04_05_basic)
+mpib_add_bench(fig06_07_piggyback)
+mpib_add_bench(fig08_pipeline)
+mpib_add_bench(fig09_chunk_sweep)
+mpib_add_bench(fig11_zerocopy)
+mpib_add_bench(fig13_14_ch3_vs_rdma)
+mpib_add_bench(fig15_verbs_read_write)
+mpib_add_bench(fig16_nas_a4)
+mpib_add_bench(fig17_nas_b8)
+mpib_add_bench(abl_regcache)
+mpib_add_bench(abl_tail_update)
+mpib_add_bench(abl_threshold)
+mpib_add_bench(ext_scalability)
+mpib_add_bench(ext_onesided)
+mpib_add_bench(ext_rdma_coll)
+mpib_add_bench(ext_multimethod)
+mpib_add_bench(nas_profile)
+
+mpib_add_bench(gb_components)
+target_link_libraries(gb_components PRIVATE benchmark::benchmark mpib_rdmach)

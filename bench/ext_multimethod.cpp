@@ -1,0 +1,60 @@
+// Extension: the multi-method channel of Figure 1 on an SMP-cluster
+// layout (2 ranks per node).  Intra-node pairs ride shared memory;
+// inter-node pairs ride the zero-copy RDMA design.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+double pingpong_usec(int peer, std::size_t msg) {
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  pmi::Job job(fabric, 4, /*ranks_per_node=*/2);
+  mpi::RuntimeConfig cfg;
+  cfg.stack.channel.design = rdmach::Design::kMultiMethod;
+  sim::Tick elapsed = 0;
+  constexpr int kIters = 20;
+  job.launch([&, peer, msg](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, cfg);
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::byte> buf(msg);
+    const int n = static_cast<int>(msg);
+    if (world.rank() == 0) {
+      co_await world.send(buf.data(), n, mpi::Datatype::kByte, peer, 0);
+      co_await world.recv(buf.data(), n, mpi::Datatype::kByte, peer, 0);
+      const sim::Tick t0 = ctx.sim().now();
+      for (int i = 0; i < kIters; ++i) {
+        co_await world.send(buf.data(), n, mpi::Datatype::kByte, peer, 0);
+        co_await world.recv(buf.data(), n, mpi::Datatype::kByte, peer, 0);
+      }
+      elapsed = ctx.sim().now() - t0;
+    } else if (world.rank() == peer) {
+      for (int i = 0; i < kIters + 1; ++i) {
+        co_await world.recv(buf.data(), n, mpi::Datatype::kByte, 0, 0);
+        co_await world.send(buf.data(), n, mpi::Datatype::kByte, 0, 0);
+      }
+    }
+    co_await rt.finalize();
+  });
+  sim.run();
+  return sim::to_usec(elapsed) / (2 * kIters);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::title(
+      "Extension: multi-method channel, 4 ranks on 2 nodes (MPI latency, us)");
+  std::printf("%8s %18s %18s %9s\n", "size", "intra-node (shm)",
+              "inter-node (IB)", "ratio");
+  for (std::size_t s : benchutil::sizes_4_to(256 * 1024)) {
+    const double local = pingpong_usec(1, s);
+    const double remote = pingpong_usec(2, s);
+    std::printf("%8s %18.2f %18.2f %8.1fx\n",
+                benchutil::human_size(s).c_str(), local, remote,
+                remote / local);
+  }
+  return 0;
+}

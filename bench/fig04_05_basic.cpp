@@ -1,0 +1,27 @@
+// Figures 4 and 5: MPI latency and bandwidth of the basic design
+// (section 4.2.1).  Paper anchors: 18.6 us small-message latency,
+// 230 MB/s peak bandwidth.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  const mpi::RuntimeConfig cfg =
+      benchutil::design_config(rdmach::Design::kBasic);
+
+  benchutil::title("Figure 4: MPI latency, basic design (paper: 18.6 us small)");
+  std::printf("%8s %14s\n", "size", "latency (us)");
+  for (std::size_t s : benchutil::sizes_4_to(16 * 1024)) {
+    std::printf("%8s %14.2f\n", benchutil::human_size(s).c_str(),
+                benchutil::mpi_latency_usec(cfg, s));
+  }
+
+  benchutil::title(
+      "Figure 5: MPI bandwidth, basic design (paper: 230 MB/s peak)");
+  std::printf("%8s %14s\n", "size", "bw (MB/s)");
+  for (std::size_t s : benchutil::sizes_4_to(64 * 1024)) {
+    std::printf("%8s %14.1f\n", benchutil::human_size(s).c_str(),
+                benchutil::mpi_bandwidth_mbps(cfg, s));
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 8: MPI bandwidth with pipelining (section 4.4).  Paper anchor:
+// peak rises from 230 MB/s (basic) to over 500 MB/s -- but no further,
+// because the copies and the DMA share the memory bus (~bus/3).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  const mpi::RuntimeConfig basic =
+      benchutil::design_config(rdmach::Design::kBasic);
+  const mpi::RuntimeConfig pipe =
+      benchutil::design_config(rdmach::Design::kPipeline);
+
+  benchutil::title(
+      "Figure 8: MPI bandwidth, basic vs pipelining (paper: 230 -> 500+ MB/s)");
+  std::printf("%8s %14s %14s\n", "size", "basic MB/s", "pipeline MB/s");
+  for (std::size_t s : benchutil::sizes_4_to(64 * 1024)) {
+    std::printf("%8s %14.1f %14.1f\n", benchutil::human_size(s).c_str(),
+                benchutil::mpi_bandwidth_mbps(basic, s),
+                benchutil::mpi_bandwidth_mbps(pipe, s));
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 9: pipelining bandwidth vs chunk size (section 4.4).  Paper:
+// 1K chunks (per-chunk overhead) and 32K chunks (too few slots in flight)
+// both perform poorly; 2K-16K are comparable; 16K is chosen.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  const std::vector<std::size_t> chunks = {1024, 2048, 4096, 8192,
+                                           16 * 1024, 32 * 1024};
+
+  benchutil::title(
+      "Figure 9: pipelining bandwidth vs chunk size (ring = 128K)");
+  std::printf("%8s", "size");
+  for (std::size_t c : chunks) {
+    std::printf(" %9s", benchutil::human_size(c).c_str());
+  }
+  std::printf("   (MB/s per chunk size)\n");
+
+  for (std::size_t msg : benchutil::sizes_4_to(1 << 20)) {
+    if (msg < 4096) continue;  // the figure starts at 4K
+    std::printf("%8s", benchutil::human_size(msg).c_str());
+    for (std::size_t c : chunks) {
+      mpi::RuntimeConfig cfg =
+          benchutil::design_config(rdmach::Design::kPipeline);
+      cfg.stack.channel.chunk_bytes = c;
+      std::printf(" %9.1f", benchutil::mpi_bandwidth_mbps(cfg, msg));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

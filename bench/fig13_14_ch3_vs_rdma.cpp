@@ -1,0 +1,34 @@
+// Figures 13 and 14: RDMA-Channel zero-copy (RDMA read) vs CH3-level
+// zero-copy (RDMA write), section 6.  Paper: comparable for small and
+// large messages, but CH3 wins in the 32K-256K band -- a direct
+// consequence of raw RDMA write vs read bandwidth (Figure 15), not of the
+// channel abstraction.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  const mpi::RuntimeConfig rdma = benchutil::stack_config(
+      ch3::Stack::kRdmaChannel, rdmach::Design::kZeroCopy);
+  const mpi::RuntimeConfig direct = benchutil::stack_config(
+      ch3::Stack::kCh3Direct, rdmach::Design::kPipeline);
+
+  benchutil::title("Figure 13: MPI latency, RDMA-Channel ZC vs CH3 ZC");
+  std::printf("%8s %18s %14s\n", "size", "rdma-channel (us)", "ch3 (us)");
+  for (std::size_t s : benchutil::sizes_4_to(64 * 1024)) {
+    std::printf("%8s %18.2f %14.2f\n", benchutil::human_size(s).c_str(),
+                benchutil::mpi_latency_usec(rdma, s),
+                benchutil::mpi_latency_usec(direct, s));
+  }
+
+  benchutil::title(
+      "Figure 14: MPI bandwidth, RDMA-Channel ZC vs CH3 ZC "
+      "(paper: CH3 ahead at 32K-256K)");
+  std::printf("%8s %18s %14s\n", "size", "rdma-channel MB/s", "ch3 MB/s");
+  for (std::size_t s : benchutil::sizes_4_to(1 << 20)) {
+    std::printf("%8s %18.1f %14.1f\n", benchutil::human_size(s).c_str(),
+                benchutil::mpi_bandwidth_mbps(rdma, s),
+                benchutil::mpi_bandwidth_mbps(direct, s));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 15: InfiniBand verbs-level bandwidth, RDMA write vs RDMA read.
+// Paper: write has a clear advantage for mid-sized messages (the
+// outstanding-read limit makes each read pay its request round trip);
+// the curves converge at 1M.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "ib/mr.hpp"
+#include "ib/qp.hpp"
+
+namespace {
+
+double verbs_bw(ib::Opcode op, std::size_t msg) {
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  ib::Node& a = fabric.add_node("a");
+  ib::Node& b = fabric.add_node("b");
+  ib::ProtectionDomain& pda = a.hca().alloc_pd();
+  ib::ProtectionDomain& pdb = b.hca().alloc_pd();
+  ib::CompletionQueue& cqa = a.hca().create_cq("cqa");
+  ib::CompletionQueue& cqb = b.hca().create_cq("cqb");
+  ib::QueuePair& qpa = a.hca().create_qp(pda, cqa, cqa);
+  ib::QueuePair& qpb = b.hca().create_qp(pdb, cqb, cqb);
+  qpa.connect(qpb);
+
+  static std::vector<std::byte> x(1 << 20), y(1 << 20);
+  sim::Tick elapsed = 0;
+  constexpr int kCount = 32;
+  sim.spawn(
+      [](ib::ProtectionDomain& pa, ib::ProtectionDomain& pb,
+         ib::QueuePair& qp, ib::CompletionQueue& cq, ib::Opcode o,
+         std::size_t m, sim::Tick& out) -> sim::Task<void> {
+        ib::MemoryRegion* ma = co_await pa.register_memory(x.data(), m);
+        ib::MemoryRegion* mb = co_await pb.register_memory(y.data(), m);
+        const sim::Tick t0 = qp.hca().fabric().sim().now();
+        for (int i = 0; i < kCount; ++i) {
+          qp.post_send(ib::SendWr{static_cast<std::uint64_t>(i), o,
+                                  {ib::Sge{x.data(), m, ma->lkey()}},
+                                  reinterpret_cast<std::uint64_t>(y.data()),
+                                  mb->rkey(), true});
+        }
+        for (int i = 0; i < kCount; ++i) (void)co_await cq.next();
+        out = qp.hca().fabric().sim().now() - t0;
+      }(pda, pdb, qpa, cqa, op, msg, elapsed),
+      "bw");
+  sim.run();
+  return sim::bandwidth_mbps(static_cast<std::int64_t>(msg) * kCount,
+                             elapsed);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::title(
+      "Figure 15: verbs-level bandwidth, RDMA write vs RDMA read");
+  std::printf("%8s %14s %14s\n", "size", "write MB/s", "read MB/s");
+  for (std::size_t s : benchutil::sizes_pow2(4096, 1 << 20)) {
+    std::printf("%8s %14.1f %14.1f\n", benchutil::human_size(s).c_str(),
+                verbs_bw(ib::Opcode::kRdmaWrite, s),
+                verbs_bw(ib::Opcode::kRdmaRead, s));
+  }
+  return 0;
+}

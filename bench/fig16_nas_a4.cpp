@@ -1,0 +1,53 @@
+// Figure 16: NAS Parallel Benchmarks, class A on 4 nodes, comparing the
+// three competitive designs (section 7): RDMA-Channel pipelining,
+// RDMA-Channel zero-copy, and CH3-level zero-copy.  Paper findings: the
+// differences are small, pipelining is the worst in all cases, and the
+// CH3 design averages < 1% better than the RDMA-Channel zero-copy design.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  const struct {
+    const char* label;
+    mpi::RuntimeConfig cfg;
+  } designs[] = {
+      {"Pipelining", benchutil::design_config(rdmach::Design::kPipeline)},
+      {"RDMA Channel", benchutil::design_config(rdmach::Design::kZeroCopy)},
+      {"CH3", benchutil::stack_config(ch3::Stack::kCh3Direct,
+                                      rdmach::Design::kPipeline)},
+  };
+
+  benchutil::title("Figure 16: NAS class A on 4 nodes (Mop/s, higher better)");
+  std::printf("%-4s %12s %14s %10s  %s\n", "bm", "Pipelining",
+              "RDMA Channel", "CH3", "(verified)");
+
+  double ratio_pipe = 0, ratio_ch3 = 0;
+  int count = 0;
+  for (const auto& [name, fn] : nas::suite()) {
+    double mops[3];
+    bool verified = true;
+    std::string label;
+    for (int d = 0; d < 3; ++d) {
+      const nas::Result r = benchutil::run_nas(name, 4, nas::Class::A,
+                                               designs[d].cfg);
+      mops[d] = r.mops;
+      verified = verified && r.verified;
+      label = r.name;
+    }
+    std::printf("%-4s %12.1f %14.1f %10.1f  %s\n", label.c_str(), mops[0],
+                mops[1], mops[2], verified ? "ok" : "FAILED");
+    ratio_pipe += mops[0] / mops[1];
+    ratio_ch3 += mops[2] / mops[1];
+    ++count;
+  }
+  std::printf(
+      "\nPipelining averages %.1f%% of RDMA-Channel zero-copy "
+      "(paper: worst in all cases)\n",
+      100.0 * ratio_pipe / count);
+  std::printf(
+      "CH3 averages %+.2f%% vs RDMA-Channel zero-copy (paper: < 1%% better)\n",
+      100.0 * (ratio_ch3 / count - 1.0));
+  return 0;
+}

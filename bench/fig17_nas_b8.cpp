@@ -1,0 +1,55 @@
+// Figure 17: NAS class B on 8 nodes (section 7).  SP and BT require a
+// square number of nodes, so -- as in the paper -- their results are
+// reported on 4 nodes.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  const struct {
+    const char* label;
+    mpi::RuntimeConfig cfg;
+  } designs[] = {
+      {"Pipelining", benchutil::design_config(rdmach::Design::kPipeline)},
+      {"RDMA Channel", benchutil::design_config(rdmach::Design::kZeroCopy)},
+      {"CH3", benchutil::stack_config(ch3::Stack::kCh3Direct,
+                                      rdmach::Design::kPipeline)},
+  };
+
+  benchutil::title(
+      "Figure 17: NAS class B on 8 nodes (SP/BT on 4: square counts only)");
+  std::printf("%-4s %6s %12s %14s %10s  %s\n", "bm", "nodes", "Pipelining",
+              "RDMA Channel", "CH3", "(verified)");
+
+  double ratio_pipe = 0, ratio_ch3 = 0;
+  int count = 0;
+  for (const auto& [name, fn] : nas::suite()) {
+    const bool square_only = name == "sp" || name == "bt";
+    const int nodes = square_only ? 4 : 8;
+    double mops[3];
+    bool verified = true;
+    std::string label;
+    for (int d = 0; d < 3; ++d) {
+      const nas::Result r =
+          benchutil::run_nas(name, nodes, nas::Class::B, designs[d].cfg);
+      mops[d] = r.mops;
+      verified = verified && r.verified;
+      label = r.name;
+    }
+    std::printf("%-4s %6d %12.1f %14.1f %10.1f  %s\n", label.c_str(), nodes,
+                mops[0], mops[1], mops[2], verified ? "ok" : "FAILED");
+    ratio_pipe += mops[0] / mops[1];
+    ratio_ch3 += mops[2] / mops[1];
+    ++count;
+  }
+  std::printf(
+      "\nPipelining averages %.1f%% of RDMA-Channel zero-copy "
+      "(paper: worst in all cases)\n",
+      100.0 * ratio_pipe / count);
+  std::printf(
+      "CH3 averages %+.2f%% vs RDMA-Channel zero-copy (paper: < 1%% better)\n",
+      100.0 * (ratio_ch3 / count - 1.0));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Real wall-clock microbenchmarks (google-benchmark) of the simulator's
+// hot components: event processing, the bandwidth-calendar booking, slot
+// framing, the registration-cache lookup, and the RNG.  These guard the
+// *host* cost of running the simulation, not virtual-time results.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "ib/hca.hpp"
+#include "ib/mr.hpp"
+#include "rdmach/reg_cache.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(
+        [](sim::Simulator& s) -> sim::Task<void> {
+          for (int i = 0; i < 10'000; ++i) co_await s.delay(sim::nsec(10));
+        }(sim),
+        "ticker");
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_BandwidthCalendarBooking(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::BandwidthResource bus(sim, "bus", 1600.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.reserve(2048));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandwidthCalendarBooking);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RegCacheHit(benchmark::State& state) {
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  ib::Node& n = fabric.add_node("n");
+  ib::ProtectionDomain& pd = n.hca().alloc_pd();
+  rdmach::RegCache cache(pd, 1 << 30, true);
+  static std::vector<std::byte> buf(1 << 20);
+  // Warm the cache.
+  sim.spawn(
+      [](rdmach::RegCache& c) -> sim::Task<void> {
+        auto* mr = co_await c.acquire(buf.data(), buf.size());
+        co_await c.release(mr);
+      }(cache),
+      "warm");
+  sim.run();
+  for (auto _ : state) {
+    sim.spawn(
+        [](rdmach::RegCache& c) -> sim::Task<void> {
+          auto* mr = co_await c.acquire(buf.data(), buf.size());
+          co_await c.release(mr);
+        }(cache),
+        "hit");
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegCacheHit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Communication profile of the NAS kernels: message counts, RDMA
+// operation mix, and bytes on the wire for each benchmark (class A,
+// 4 nodes, zero-copy stack).  This is the workload characterization that
+// explains Figures 16/17: which kernels are latency-bound (many small
+// sends, LU), which are bandwidth-bound (few huge alltoalls, FT/IS), and
+// why the design differences are small for the rest.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ib/hca.hpp"
+
+int main() {
+  benchutil::title(
+      "NAS communication profile (class A, 4 nodes, zero-copy stack)");
+  std::printf("%-4s %9s %10s %10s %10s %12s %12s %9s\n", "bm", "time ms",
+              "sends/rk", "unexp/rk", "writes", "reads", "wire MB", "Mop/s");
+
+  for (const auto& [name, fn] : nas::suite()) {
+    sim::Simulator sim;
+    ib::Fabric fabric(sim);
+    pmi::Job job(fabric, 4);
+    nas::Result result;
+    std::uint64_t sends = 0, unexpected = 0;
+    job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+      mpi::Runtime rt(ctx, {});
+      co_await rt.init();
+      nas::Result r = co_await nas::kernel(name)(rt.world(), ctx,
+                                                 nas::Class::A);
+      if (ctx.rank == 0) result = r;
+      sends += rt.engine().sends;
+      unexpected += rt.engine().unexpected_hits;
+      co_await rt.finalize();
+    });
+    sim.run();
+
+    std::uint64_t writes = 0, reads = 0;
+    std::int64_t wire_bytes = 0;
+    for (std::size_t n = 0; n < fabric.node_count(); ++n) {
+      writes += fabric.node(n).hca().writes_posted;
+      reads += fabric.node(n).hca().reads_posted;
+      wire_bytes += fabric.node(n).hca().bytes_tx;
+    }
+    std::printf("%-4s %9.2f %10.1f %10.1f %10lu %12lu %12.1f %9.1f\n",
+                result.name.c_str(), result.time_sec * 1e3, sends / 4.0,
+                unexpected / 4.0, static_cast<unsigned long>(writes),
+                static_cast<unsigned long>(reads),
+                static_cast<double>(wire_bytes) / 1e6, result.mops);
+  }
+  std::printf(
+      "\n(sends include collectives' internal point-to-point traffic;\n"
+      " reads are the zero-copy rendezvous pulls)\n");
+  return 0;
+}

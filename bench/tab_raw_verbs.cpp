@@ -1,0 +1,107 @@
+// Raw verbs-level numbers quoted in section 4.2.1: the calibration anchor
+// of the whole model.  Paper: 5.9 us small RDMA write latency, 870 MB/s
+// peak bandwidth.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "ib/mr.hpp"
+#include "ib/qp.hpp"
+
+namespace {
+
+struct VerbsPair {
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  ib::Node* a;
+  ib::Node* b;
+  ib::ProtectionDomain* pda;
+  ib::ProtectionDomain* pdb;
+  ib::CompletionQueue* cqa;
+  ib::QueuePair* qpa;
+
+  VerbsPair() {
+    a = &fabric.add_node("a");
+    b = &fabric.add_node("b");
+    pda = &a->hca().alloc_pd();
+    pdb = &b->hca().alloc_pd();
+    cqa = &a->hca().create_cq("cqa");
+    auto& cqb = b->hca().create_cq("cqb");
+    qpa = &a->hca().create_qp(*pda, *cqa, *cqa);
+    auto& qpb = b->hca().create_qp(*pdb, cqb, cqb);
+    qpa->connect(qpb);
+  }
+};
+
+double write_latency_usec(std::size_t msg) {
+  VerbsPair p;
+  static std::vector<std::byte> src(1 << 20), dst(1 << 20);
+  sim::Tick elapsed = 0;
+  constexpr int kIters = 20;
+  p.sim.spawn(
+      [](VerbsPair& vp, std::size_t m, sim::Tick& out) -> sim::Task<void> {
+        ib::MemoryRegion* ms = co_await vp.pda->register_memory(src.data(), m);
+        ib::MemoryRegion* md = co_await vp.pdb->register_memory(dst.data(), m);
+        const sim::Tick t0 = vp.sim.now();
+        for (int i = 0; i < kIters; ++i) {
+          vp.qpa->post_send(ib::SendWr{
+              static_cast<std::uint64_t>(i), ib::Opcode::kRdmaWrite,
+              {ib::Sge{src.data(), m, ms->lkey()}},
+              reinterpret_cast<std::uint64_t>(dst.data()), md->rkey(), true});
+          (void)co_await vp.cqa->next();
+        }
+        // Completion includes the ack; one-way latency excludes it.
+        out = (vp.sim.now() - t0) / kIters -
+              vp.fabric.cfg().ack_latency;
+      }(p, msg, elapsed),
+      "lat");
+  p.sim.run();
+  return sim::to_usec(elapsed);
+}
+
+double write_bandwidth_mbps(std::size_t msg) {
+  VerbsPair p;
+  static std::vector<std::byte> src(1 << 20), dst(1 << 20);
+  sim::Tick elapsed = 0;
+  constexpr int kCount = 32;
+  p.sim.spawn(
+      [](VerbsPair& vp, std::size_t m, sim::Tick& out) -> sim::Task<void> {
+        ib::MemoryRegion* ms = co_await vp.pda->register_memory(src.data(), m);
+        ib::MemoryRegion* md = co_await vp.pdb->register_memory(dst.data(), m);
+        const sim::Tick t0 = vp.sim.now();
+        for (int i = 0; i < kCount; ++i) {
+          vp.qpa->post_send(ib::SendWr{
+              static_cast<std::uint64_t>(i), ib::Opcode::kRdmaWrite,
+              {ib::Sge{src.data(), m, ms->lkey()}},
+              reinterpret_cast<std::uint64_t>(dst.data()), md->rkey(), true});
+        }
+        for (int i = 0; i < kCount; ++i) (void)co_await vp.cqa->next();
+        out = vp.sim.now() - t0;
+      }(p, msg, elapsed),
+      "bw");
+  p.sim.run();
+  return sim::bandwidth_mbps(static_cast<std::int64_t>(msg) * kCount,
+                             elapsed);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::title(
+      "Raw InfiniBand verbs performance (paper section 4.2.1 text)");
+  std::printf("%-34s %12s %12s\n", "metric", "measured", "paper");
+  std::printf("%-34s %9.2f us %9.1f us\n", "RDMA write latency (4 B)",
+              write_latency_usec(4), 5.9);
+  std::printf("%-34s %7.0f MB/s %7.0f MB/s\n",
+              "RDMA write peak bandwidth (1 MB)",
+              write_bandwidth_mbps(1 << 20), 870.0);
+  std::printf("\nLatency vs message size (verbs RDMA write):\n");
+  std::printf("%8s %12s\n", "size", "latency us");
+  for (std::size_t s : benchutil::sizes_4_to(16 * 1024)) {
+    std::printf("%8s %12.2f\n", benchutil::human_size(s).c_str(),
+                write_latency_usec(s));
+  }
+  return 0;
+}

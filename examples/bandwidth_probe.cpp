@@ -1,0 +1,118 @@
+// bandwidth_probe: an interactive-style survey tool that prints the full
+// latency/bandwidth profile of every channel design side by side -- the
+// quickest way to see the paper's entire section 4-5 story in one table.
+#include <cstdio>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "mpi/runtime.hpp"
+#include "pmi/pmi.hpp"
+
+namespace {
+
+struct Probe {
+  std::size_t msg;
+  double lat_us;
+  double bw_mbps;
+};
+
+sim::Task<void> probe_rank(pmi::Context& ctx, rdmach::Design design,
+                           std::vector<Probe>* out) {
+  mpi::RuntimeConfig cfg;
+  cfg.stack.channel.design = design;
+  mpi::Runtime rt(ctx, cfg);
+  co_await rt.init();
+  mpi::Communicator& world = rt.world();
+
+  for (std::size_t msg = 4; msg <= (1u << 20); msg *= 8) {
+    std::vector<std::byte> buf(msg);
+    const int n = static_cast<int>(msg);
+    constexpr int kIters = 12;
+    // Latency (ping-pong).
+    const double t_lat0 = world.wtime();
+    for (int i = 0; i < kIters; ++i) {
+      if (world.rank() == 0) {
+        co_await world.send(buf.data(), n, mpi::Datatype::kByte, 1, 0);
+        co_await world.recv(buf.data(), n, mpi::Datatype::kByte, 1, 0);
+      } else {
+        co_await world.recv(buf.data(), n, mpi::Datatype::kByte, 0, 0);
+        co_await world.send(buf.data(), n, mpi::Datatype::kByte, 0, 0);
+      }
+    }
+    const double lat_us =
+        (world.wtime() - t_lat0) * 1e6 / (2 * kIters);
+
+    // Bandwidth (windowed, receiver pre-posts).
+    constexpr int kWindow = 12;
+    const double t_bw0 = world.wtime();
+    std::vector<mpi::Request> reqs;
+    if (world.rank() == 0) {
+      std::byte ready;
+      co_await world.recv(&ready, 1, mpi::Datatype::kByte, 1, 2);
+      for (int w = 0; w < kWindow; ++w) {
+        reqs.push_back(
+            co_await world.isend(buf.data(), n, mpi::Datatype::kByte, 1, 1));
+      }
+      co_await world.wait_all(reqs);
+      co_await world.recv(&ready, 1, mpi::Datatype::kByte, 1, 2);
+    } else {
+      std::vector<std::vector<std::byte>> bufs(
+          kWindow, std::vector<std::byte>(msg));
+      for (int w = 0; w < kWindow; ++w) {
+        reqs.push_back(co_await world.irecv(
+            bufs[static_cast<std::size_t>(w)].data(), n, mpi::Datatype::kByte,
+            0, 1));
+      }
+      std::byte ready{1};
+      co_await world.send(&ready, 1, mpi::Datatype::kByte, 0, 2);
+      co_await world.wait_all(reqs);
+      co_await world.send(&ready, 1, mpi::Datatype::kByte, 0, 2);
+    }
+    const double bw =
+        static_cast<double>(msg) * kWindow / (world.wtime() - t_bw0) / 1e6;
+    if (world.rank() == 0 && out != nullptr) {
+      out->push_back(Probe{msg, lat_us, bw});
+    }
+  }
+  co_await rt.finalize();
+}
+
+}  // namespace
+
+int main() {
+  const rdmach::Design designs[] = {
+      rdmach::Design::kBasic, rdmach::Design::kPiggyback,
+      rdmach::Design::kPipeline, rdmach::Design::kZeroCopy};
+
+  std::vector<std::vector<Probe>> results;
+  for (rdmach::Design d : designs) {
+    sim::Simulator sim;
+    ib::Fabric fabric(sim);
+    pmi::Job job(fabric, 2);
+    results.emplace_back();
+    auto* out = &results.back();
+    job.launch([d, out](pmi::Context& ctx) -> sim::Task<void> {
+      co_await probe_rank(ctx, d, out);
+    });
+    sim.run();
+  }
+
+  std::printf("MPI point-to-point profile, all channel designs\n\n");
+  std::printf("%8s |", "size");
+  for (rdmach::Design d : designs) std::printf(" %9.9s lat |", rdmach::to_string(d));
+  std::printf("\n");
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    std::printf("%8zu |", results[0][i].msg);
+    for (const auto& r : results) std::printf(" %10.2fus |", r[i].lat_us);
+    std::printf("\n");
+  }
+  std::printf("\n%8s |", "size");
+  for (rdmach::Design d : designs) std::printf(" %9.9s bw  |", rdmach::to_string(d));
+  std::printf("\n");
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    std::printf("%8zu |", results[0][i].msg);
+    for (const auto& r : results) std::printf(" %8.1fMB/s |", r[i].bw_mbps);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "ch3/ch3.hpp"
+
+#include "ch3/adapter_channel.hpp"
+#include "ch3/ib_direct_channel.hpp"
+
+namespace ch3 {
+
+const char* to_string(Stack s) {
+  switch (s) {
+    case Stack::kRdmaChannel:
+      return "rdma-channel";
+    case Stack::kCh3Direct:
+      return "ch3-direct";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Ch3Channel> make_channel(pmi::Context& ctx,
+                                         const StackConfig& cfg) {
+  switch (cfg.stack) {
+    case Stack::kRdmaChannel:
+      return std::make_unique<AdapterChannel>(ctx, cfg);
+    case Stack::kCh3Direct:
+      return std::make_unique<IbDirectChannel>(ctx, cfg);
+  }
+  throw std::invalid_argument("unknown CH3 stack");
+}
+
+}  // namespace ch3

@@ -1,0 +1,39 @@
+// CH3 packet definitions.
+//
+// Every MPI message is framed by a fixed-size packet header carrying the
+// envelope (source, tag, context) and -- for the rendezvous protocol of the
+// CH3 direct channel (paper section 6, Figure 12) -- the control fields of
+// the RTS/CTS/FIN handshake.
+#pragma once
+
+#include <cstdint>
+
+namespace ch3 {
+
+/// MPI envelope: what the matching engine matches on.
+struct MatchHeader {
+  std::int32_t src = -1;         // sender's rank in the communicator
+  std::int32_t tag = 0;
+  std::uint64_t context_id = 0;  // communicator context
+  std::uint64_t length = 0;      // payload bytes
+};
+
+enum class PktType : std::uint32_t {
+  kEager = 0xE1,  // header immediately followed by `length` payload bytes
+  kRts = 0xE2,    // rendezvous request-to-send (no payload follows)
+  kCts = 0xE3,    // clear-to-send: receiver buffer {addr, rkey}
+  kFin = 0xE4,    // rendezvous data has been RDMA-written
+};
+
+struct PktHeader {
+  PktType type = PktType::kEager;
+  std::uint32_t rkey = 0;        // kCts
+  MatchHeader match;             // kEager / kRts
+  std::uint64_t sreq = 0;        // sender-side request token (kRts/kCts)
+  std::uint64_t rreq = 0;        // receiver-side request token (kCts/kFin)
+  std::uint64_t raddr = 0;       // kCts: receiver buffer address
+  std::uint64_t reserved = 0;    // pad the frame to 64 bytes
+};
+static_assert(sizeof(PktHeader) == 64);
+
+}  // namespace ch3

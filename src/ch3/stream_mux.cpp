@@ -1,0 +1,100 @@
+#include "ch3/stream_mux.hpp"
+
+#include <cstring>
+
+namespace ch3 {
+
+void StreamMux::enqueue(int dst, const PktHeader& hdr, const void* payload,
+                        std::size_t len, std::function<void()> on_streamed) {
+  OutMsg m;
+  m.hdr = hdr;
+  m.payload = static_cast<const std::byte*>(payload);
+  m.len = len;
+  m.on_streamed = std::move(on_streamed);
+  vcs_[static_cast<std::size_t>(dst)].sendq.push_back(std::move(m));
+}
+
+bool StreamMux::idle() const {
+  for (const auto& vc : vcs_) {
+    if (!vc.sendq.empty() || vc.hdr_got != 0 || vc.in_payload) return false;
+  }
+  return true;
+}
+
+sim::Task<bool> StreamMux::progress_send(int peer, Vc& vc) {
+  bool moved = false;
+  while (!vc.sendq.empty()) {
+    OutMsg& m = vc.sendq.front();
+    const std::size_t hdr_size = sizeof(PktHeader);
+    rdmach::ConstIov iovs[2];
+    std::size_t n_iovs = 0;
+    if (m.sent < hdr_size) {
+      iovs[n_iovs++] = rdmach::ConstIov(
+          reinterpret_cast<const std::byte*>(&m.hdr) + m.sent,
+          hdr_size - m.sent);
+      if (m.len > 0) iovs[n_iovs++] = rdmach::ConstIov(m.payload, m.len);
+    } else {
+      const std::size_t off = m.sent - hdr_size;
+      iovs[n_iovs++] = rdmach::ConstIov(m.payload + off, m.len - off);
+    }
+    const std::size_t k = co_await ch_->put(
+        ch_->connection(peer), std::span<const rdmach::ConstIov>(iovs, n_iovs));
+    m.sent += k;
+    moved |= k > 0;
+    if (m.sent < hdr_size + m.len) break;  // pipe full / rendezvous pending
+    if (m.on_streamed) m.on_streamed();
+    vc.sendq.pop_front();
+  }
+  co_return moved;
+}
+
+sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
+  bool moved = false;
+  rdmach::Connection& conn = ch_->connection(peer);
+  for (;;) {
+    if (!vc.in_payload) {
+      const std::size_t k = co_await ch_->get(
+          conn, vc.hdr_buf + vc.hdr_got, sizeof(PktHeader) - vc.hdr_got);
+      vc.hdr_got += k;
+      moved |= k > 0;
+      if (vc.hdr_got < sizeof(PktHeader)) break;
+      std::memcpy(&vc.rhdr, vc.hdr_buf, sizeof(PktHeader));
+      vc.sink = handler_->on_packet(peer, vc.rhdr);
+      vc.payload_got = 0;
+      const std::size_t expect =
+          vc.rhdr.type == PktType::kEager ? vc.rhdr.match.length : 0;
+      if (expect == 0) {
+        if (vc.rhdr.type == PktType::kEager) {
+          handler_->on_payload_done(peer, vc.rhdr, vc.sink);
+        }
+        vc.hdr_got = 0;
+        moved = true;
+        continue;  // next frame may already be available
+      }
+      vc.in_payload = true;
+    }
+    const std::size_t want = vc.rhdr.match.length - vc.payload_got;
+    const std::size_t k =
+        co_await ch_->get(conn, vc.sink.dst + vc.payload_got, want);
+    vc.payload_got += k;
+    moved |= k > 0;
+    if (vc.payload_got < vc.rhdr.match.length) break;
+    handler_->on_payload_done(peer, vc.rhdr, vc.sink);
+    vc.in_payload = false;
+    vc.hdr_got = 0;
+  }
+  co_return moved;
+}
+
+sim::Task<bool> StreamMux::progress() {
+  bool moved = false;
+  for (int p = 0; p < ch_->size(); ++p) {
+    if (p == ch_->rank()) continue;
+    Vc& vc = vcs_[static_cast<std::size_t>(p)];
+    moved |= co_await progress_send(p, vc);
+    moved |= co_await progress_recv(p, vc);
+  }
+  co_return moved;
+}
+
+}  // namespace ch3

@@ -1,0 +1,78 @@
+// Packet framing over the RDMA Channel byte pipes.
+//
+// Both CH3 channel implementations move (at least their eager and control)
+// traffic as a per-VC byte stream of [PktHeader | payload] frames through
+// rdmach put/get.  StreamMux owns the per-VC framing state machines:
+// send-side queueing and partial-put retry, receive-side header
+// reassembly and payload delivery into handler-provided sinks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "ch3/ch3.hpp"
+#include "ch3/packet.hpp"
+#include "rdmach/channel.hpp"
+
+namespace ch3 {
+
+/// Packet-level callbacks (one level below EngineHooks).
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  /// A full header arrived from `src`.  For payload-bearing packets return
+  /// the destination; for pure control packets handle it and return a null
+  /// sink.
+  virtual Sink on_packet(int src, const PktHeader& hdr) = 0;
+  /// The payload announced by `hdr` is fully placed in `sink`.
+  virtual void on_payload_done(int src, const PktHeader& hdr,
+                               const Sink& sink) = 0;
+};
+
+class StreamMux {
+ public:
+  StreamMux(rdmach::Channel& ch, PacketHandler& handler)
+      : ch_(&ch), handler_(&handler), vcs_(static_cast<std::size_t>(ch.size())) {}
+
+  /// Queues a frame; `on_streamed` (optional) fires when the last byte has
+  /// been accepted by the channel.
+  void enqueue(int dst, const PktHeader& hdr, const void* payload,
+               std::size_t len, std::function<void()> on_streamed = {});
+
+  /// Pushes queued sends and drains incoming frames on every VC.
+  /// Returns true if any byte moved or any packet completed.
+  sim::Task<bool> progress();
+
+  bool idle() const;
+
+ private:
+  struct OutMsg {
+    PktHeader hdr;
+    const std::byte* payload = nullptr;
+    std::size_t len = 0;
+    std::size_t sent = 0;  // of sizeof(PktHeader) + len
+    std::function<void()> on_streamed;
+  };
+
+  struct Vc {
+    std::deque<OutMsg> sendq;
+    // receive framing
+    alignas(8) std::byte hdr_buf[sizeof(PktHeader)];
+    std::size_t hdr_got = 0;
+    bool in_payload = false;
+    PktHeader rhdr;
+    Sink sink;
+    std::size_t payload_got = 0;
+  };
+
+  sim::Task<bool> progress_send(int peer, Vc& vc);
+  sim::Task<bool> progress_recv(int peer, Vc& vc);
+
+  rdmach::Channel* ch_;
+  PacketHandler* handler_;
+  std::vector<Vc> vcs_;
+};
+
+}  // namespace ch3

@@ -1,0 +1,62 @@
+// Completion queues.  Work-request completion is reported by the HCA engine
+// pushing a Wc here; consumers poll (non-blocking, like real verbs) or
+// await the arrival trigger when they have nothing else to do.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "ib/types.hpp"
+#include "sim/sync.hpp"
+
+namespace ib {
+
+class CompletionQueue {
+ public:
+  CompletionQueue(sim::Simulator& sim, std::string name)
+      : name_(std::move(name)), arrived_(sim) {}
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Non-blocking poll, mirroring ibv_poll_cq with one entry.
+  std::optional<Wc> poll() {
+    if (entries_.empty()) return std::nullopt;
+    Wc wc = entries_.front();
+    entries_.pop_front();
+    return wc;
+  }
+
+  /// Blocks until the CQ is non-empty (it may have been drained by another
+  /// poller by the time the caller runs; re-check).
+  sim::Task<void> wait_nonempty() {
+    co_await sim::wait_until(arrived_, [this] { return !entries_.empty(); });
+  }
+
+  /// Blocking convenience: poll, waiting as needed.
+  sim::Task<Wc> next() {
+    co_await wait_nonempty();
+    Wc wc = entries_.front();
+    entries_.pop_front();
+    co_return wc;
+  }
+
+  void push(const Wc& wc) {
+    entries_.push_back(wc);
+    ++total_;
+    arrived_.fire();
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t depth() const noexcept { return entries_.size(); }
+  std::uint64_t total_completions() const noexcept { return total_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  sim::Trigger arrived_;
+  std::deque<Wc> entries_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ib

@@ -1,0 +1,59 @@
+#include "ib/fabric.hpp"
+
+#include "ib/hca.hpp"
+
+namespace ib {
+
+Fabric::Fabric(sim::Simulator& sim, FabricConfig cfg)
+    : sim_(&sim), cfg_(cfg), rng_(cfg.inject_seed) {}
+
+Fabric::~Fabric() = default;
+
+Node& Fabric::add_node(std::string name) {
+  const int id = static_cast<int>(nodes_.size());
+  if (name.empty()) name = "node" + std::to_string(id);
+  nodes_.push_back(std::make_unique<Node>(*this, id, std::move(name)));
+  return *nodes_.back();
+}
+
+sim::Task<sim::Tick> Fabric::book_path(Node& src, Node& dst, std::int64_t n) {
+  // Even a zero-byte operation moves a transport header.
+  if (n <= 0) n = 16;
+  sim::Simulator& s = *sim_;
+  const std::int64_t chunk_max = cfg_.dma_chunk_bytes;
+  // Bound how far the engine may book the TX link ahead of real time: deep
+  // enough that consecutive chunks/WQEs keep the wire saturated, shallow
+  // enough that later small descriptors (pointer updates) are not starved.
+  const sim::Tick backlog_bound =
+      4 * sim::transfer_time(chunk_max, cfg_.link_mbps);
+
+  bool first = true;
+  sim::Tick delivered = s.now();
+  std::int64_t remaining = n;
+  while (remaining > 0) {
+    const std::int64_t chunk = remaining < chunk_max ? remaining : chunk_max;
+    remaining -= chunk;
+    // Source DMA read; the engine paces itself on this stage so that CPU
+    // copies contend with DMA at chunk granularity.
+    const sim::Tick s_done = src.bus().reserve(chunk);
+    co_await s.delay_until(s_done);
+    // Wire serialization (FIFO across all QPs of this HCA).
+    const sim::Tick l_done = src.hca().tx_link().reserve(chunk);
+    sim::Tick arrive = l_done + cfg_.wire_latency;
+    if (first) {
+      arrive += cfg_.rx_overhead;
+      first = false;
+    }
+    // Destination-side stages are booked ahead of their start time; the
+    // FIFO gap this can leave is bounded by one wire latency (DESIGN.md).
+    const sim::Tick r_done = dst.hca().rx_link().reserve_from(arrive, chunk);
+    delivered = dst.bus().reserve_from(r_done, chunk);
+    if (l_done > s.now() + backlog_bound) {
+      co_await s.delay_until(l_done - backlog_bound);
+    }
+  }
+  src.hca().bytes_tx += n;
+  co_return delivered;
+}
+
+}  // namespace ib

@@ -1,0 +1,73 @@
+// The switched fabric: owns the nodes, the timing configuration, key/QP
+// number allocation, and the staged data-path booking shared by all
+// transfer types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ib/config.hpp"
+#include "ib/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace ib {
+
+class QueuePair;
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Simulator& sim, FabricConfig cfg = {});
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+  ~Fabric();
+
+  /// Adds a processing node (host + HCA) to the fabric.
+  Node& add_node(std::string name = {});
+
+  Node& node(std::size_t i) const { return *nodes_.at(i); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  sim::Simulator& sim() const noexcept { return *sim_; }
+  const FabricConfig& cfg() const noexcept { return cfg_; }
+  sim::Rng& rng() noexcept { return rng_; }
+
+  void attach_tracer(sim::TraceSink* sink) { tracer_.attach(sink); }
+  const sim::Tracer& tracer() const noexcept { return tracer_; }
+
+  std::uint32_t next_key() noexcept { return ++key_counter_; }
+  std::uint32_t next_qpn() noexcept { return ++qpn_counter_; }
+
+  /// QP-number directory, the moral equivalent of the subnet manager's
+  /// path records: lets bootstrap code connect QPs after exchanging bare
+  /// QP numbers through the process manager's KVS.
+  void register_qp(std::uint32_t qpn, QueuePair* qp) { qp_dir_[qpn] = qp; }
+  QueuePair* find_qp(std::uint32_t qpn) const {
+    auto it = qp_dir_.find(qpn);
+    return it == qp_dir_.end() ? nullptr : it->second;
+  }
+
+  /// Books the chunked data path for `n` bytes from `src` to `dst`
+  /// (src bus -> src tx link -> wire -> dst rx link -> dst bus) and returns
+  /// the absolute delivery time of the last chunk.  Resumes the caller once
+  /// the *source-side* stages are fully booked so the caller can pipeline
+  /// its next descriptor behind this one.
+  sim::Task<sim::Tick> book_path(Node& src, Node& dst, std::int64_t n);
+
+ private:
+  sim::Simulator* sim_;
+  FabricConfig cfg_;
+  sim::Tracer tracer_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::uint32_t, QueuePair*> qp_dir_;
+  std::uint32_t key_counter_ = 100;
+  std::uint32_t qpn_counter_ = 0;
+};
+
+}  // namespace ib

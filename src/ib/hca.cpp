@@ -1,0 +1,45 @@
+#include "ib/hca.hpp"
+
+#include "ib/fabric.hpp"
+#include "ib/node.hpp"
+#include "ib/qp.hpp"
+
+namespace ib {
+
+Hca::Hca(Node& node)
+    : node_(&node),
+      tx_link_(node.fabric().sim(), node.name() + ".tx",
+               node.fabric().cfg().link_mbps,
+               node.fabric().cfg().dma_chunk_bytes),
+      rx_link_(node.fabric().sim(), node.name() + ".rx",
+               node.fabric().cfg().link_mbps,
+               node.fabric().cfg().dma_chunk_bytes) {}
+
+Hca::~Hca() = default;
+
+Fabric& Hca::fabric() const noexcept { return node_->fabric(); }
+
+ProtectionDomain& Hca::alloc_pd() {
+  pds_.push_back(std::make_unique<ProtectionDomain>(
+      *this, static_cast<std::uint32_t>(pds_.size())));
+  return *pds_.back();
+}
+
+CompletionQueue& Hca::create_cq(std::string name) {
+  cqs_.push_back(
+      std::make_unique<CompletionQueue>(fabric().sim(), std::move(name)));
+  return *cqs_.back();
+}
+
+QueuePair& Hca::create_qp(ProtectionDomain& pd, CompletionQueue& send_cq,
+                          CompletionQueue& recv_cq) {
+  if (&pd.hca() != this) {
+    throw VerbsError("create_qp: PD belongs to a different HCA");
+  }
+  qps_.push_back(std::make_unique<QueuePair>(*this, pd, send_cq, recv_cq,
+                                             fabric().next_qpn()));
+  fabric().register_qp(qps_.back()->qp_num(), qps_.back().get());
+  return *qps_.back();
+}
+
+}  // namespace ib

@@ -1,0 +1,55 @@
+// Host channel adapter: the node's attachment point to the fabric.  Owns the
+// TX/RX link bandwidth servers (PCI-X + 4X link, effective 870 MB/s each
+// way), and the protection domains, completion queues, and queue pairs
+// created on this adapter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ib/cq.hpp"
+#include "ib/mr.hpp"
+#include "sim/resource.hpp"
+
+namespace ib {
+
+class Node;
+class Fabric;
+class QueuePair;
+
+class Hca {
+ public:
+  explicit Hca(Node& node);
+  Hca(const Hca&) = delete;
+  Hca& operator=(const Hca&) = delete;
+  ~Hca();
+
+  ProtectionDomain& alloc_pd();
+  CompletionQueue& create_cq(std::string name);
+  QueuePair& create_qp(ProtectionDomain& pd, CompletionQueue& send_cq,
+                       CompletionQueue& recv_cq);
+
+  Node& node() const noexcept { return *node_; }
+  Fabric& fabric() const noexcept;
+  sim::BandwidthResource& tx_link() noexcept { return tx_link_; }
+  sim::BandwidthResource& rx_link() noexcept { return rx_link_; }
+
+  // Lifetime traffic counters (reported by benches).
+  std::uint64_t writes_posted = 0;
+  std::uint64_t reads_posted = 0;
+  std::uint64_t sends_posted = 0;
+  std::uint64_t atomics_posted = 0;
+  std::int64_t bytes_tx = 0;
+
+ private:
+  Node* node_;
+  sim::BandwidthResource tx_link_;
+  sim::BandwidthResource rx_link_;
+  std::vector<std::unique_ptr<ProtectionDomain>> pds_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+};
+
+}  // namespace ib

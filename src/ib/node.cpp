@@ -1,0 +1,38 @@
+#include "ib/node.hpp"
+
+#include "ib/fabric.hpp"
+#include "ib/hca.hpp"
+
+namespace ib {
+
+Node::Node(Fabric& fabric, int id, std::string name)
+    : fabric_(&fabric),
+      id_(id),
+      name_(std::move(name)),
+      bus_(fabric.sim(), name_ + ".bus", fabric.cfg().bus_mbps,
+           fabric.cfg().bus_chunk_bytes),
+      dma_arrival_(fabric.sim()),
+      hca_(std::make_unique<Hca>(*this)) {}
+
+Node::~Node() = default;
+
+sim::Task<void> Node::copy(void* dst, const void* src, std::size_t n,
+                           std::size_t working_set) {
+  if (n == 0) co_return;
+  const FabricConfig& cfg = fabric_->cfg();
+  const double factor = cfg.copy_factor(static_cast<std::int64_t>(
+      working_set != 0 ? working_set : n));
+  const auto bus_bytes =
+      static_cast<std::int64_t>(static_cast<double>(n) * factor);
+  co_await bus_.transfer(bus_bytes);
+  std::memcpy(dst, src, n);
+  copied_bytes_ += static_cast<std::int64_t>(n);
+  fabric_->tracer().record(fabric_->sim().now(), name_, "memcpy",
+                           static_cast<std::int64_t>(n));
+}
+
+sim::Task<void> Node::compute(sim::Tick t) {
+  co_await fabric_->sim().delay(t);
+}
+
+}  // namespace ib

@@ -1,0 +1,65 @@
+// A processing node: one host CPU's view of the memory system plus an HCA.
+//
+// The node owns the memory-bus bandwidth server that is shared between CPU
+// copies and HCA DMA -- the contention at the heart of the paper's
+// copy-based vs zero-copy comparison -- and provides the modelled memcpy
+// used by every copy-based channel design.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "ib/config.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+
+namespace ib {
+
+class Fabric;
+class Hca;
+
+class Node {
+ public:
+  Node(Fabric& fabric, int id, std::string name);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  ~Node();
+
+  /// Modelled memcpy: blocks the calling process while charging the memory
+  /// bus `copy_factor * n` bus-bytes.  `working_set` is the size of the
+  /// buffer the copy walks through (defaults to n); working sets beyond the
+  /// L2 size copy slower, reproducing the paper's cache effect (Fig. 11).
+  sim::Task<void> copy(void* dst, const void* src, std::size_t n,
+                       std::size_t working_set = 0);
+
+  /// Pure CPU time (no bus traffic): protocol bookkeeping, compute phases.
+  sim::Task<void> compute(sim::Tick t);
+
+  Fabric& fabric() const noexcept { return *fabric_; }
+  Hca& hca() const noexcept { return *hca_; }
+  sim::BandwidthResource& bus() noexcept { return bus_; }
+
+  /// Fires whenever an incoming RDMA write / read response / send lands in
+  /// this node's memory.  Channels use it to sleep between polls of their
+  /// ring-buffer flags without burning virtual time.
+  sim::Trigger& dma_arrival() noexcept { return dma_arrival_; }
+
+  int id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  std::int64_t copied_bytes() const noexcept { return copied_bytes_; }
+
+ private:
+  Fabric* fabric_;
+  int id_;
+  std::string name_;
+  sim::BandwidthResource bus_;
+  sim::Trigger dma_arrival_;
+  std::unique_ptr<Hca> hca_;
+  std::int64_t copied_bytes_ = 0;
+};
+
+}  // namespace ib

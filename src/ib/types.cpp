@@ -1,0 +1,37 @@
+#include "ib/types.hpp"
+
+namespace ib {
+
+const char* to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess:
+      return "success";
+    case WcStatus::kLocalProtectionError:
+      return "local-protection-error";
+    case WcStatus::kRemoteAccessError:
+      return "remote-access-error";
+    case WcStatus::kTransportError:
+      return "transport-error";
+    case WcStatus::kFlushError:
+      return "flush-error";
+  }
+  return "unknown";
+}
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kSend:
+      return "send";
+    case Opcode::kRdmaWrite:
+      return "rdma-write";
+    case Opcode::kRdmaRead:
+      return "rdma-read";
+    case Opcode::kFetchAdd:
+      return "fetch-add";
+    case Opcode::kCompareSwap:
+      return "compare-swap";
+  }
+  return "unknown";
+}
+
+}  // namespace ib

@@ -1,0 +1,374 @@
+// Collective algorithms, built on the point-to-point layer with internal
+// tags on the communicator's collective context.  Algorithm choices follow
+// the classic MPICH implementations: dissemination barrier, binomial-tree
+// bcast/reduce, recursive-doubling allreduce (power-of-two), ring
+// allgather, and pairwise-shift alltoall.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "ib/node.hpp"
+#include "mpi/comm.hpp"
+
+namespace mpi {
+
+namespace {
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+sim::Task<void> Communicator::barrier() {
+  const int p = size();
+  if (p == 1) co_return;
+  const int tag = next_coll_tag();
+  std::byte token{0};
+  // Dissemination: after ceil(log2 p) rounds everyone has heard from all.
+  for (int k = 1; k < p; k <<= 1) {
+    const int to = (my_rank_ + k) % p;
+    const int from = (my_rank_ - k + p) % p;
+    std::byte in{0};
+    co_await sendrecv_bytes(&token, 1, to, &in, 1, from, tag, coll_context());
+  }
+}
+
+sim::Task<void> Communicator::bcast(void* buf, int count, Datatype d,
+                                    int root) {
+  const int p = size();
+  if (p == 1) co_return;
+  const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
+  const int tag = next_coll_tag();
+  const int vr = (my_rank_ - root + p) % p;  // rank relative to root
+  // Binomial tree: receive from parent, then forward to children.
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      const int parent = ((vr - mask) + root) % p;
+      Request r = co_await irecv_bytes(buf, bytes, parent, tag,
+                                       coll_context());
+      co_await eng_->wait(r);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) {
+      const int child = (vr + mask + root) % p;
+      Request r = co_await isend_bytes(buf, bytes, child, tag,
+                                       coll_context());
+      co_await eng_->wait(r);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<void> Communicator::reduce(const void* sendbuf, void* recvbuf,
+                                     int count, Datatype d, Op op, int root) {
+  const int p = size();
+  const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
+  // Accumulator starts as a copy of the local contribution.
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), sendbuf, bytes);
+  if (p > 1) {
+    const int tag = next_coll_tag();
+    const int vr = (my_rank_ - root + p) % p;
+    std::vector<std::byte> tmp(bytes);
+    // Binomial tree: children fold into parents.
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (vr & mask) {
+        const int parent = ((vr - mask) + root) % p;
+        Request r = co_await isend_bytes(acc.data(), bytes, parent, tag,
+                                         coll_context());
+        co_await eng_->wait(r);
+        break;
+      }
+      if (vr + mask < p) {
+        const int child = (vr + mask + root) % p;
+        Request r = co_await irecv_bytes(tmp.data(), bytes, child, tag,
+                                         coll_context());
+        co_await eng_->wait(r);
+        apply_op(op, d, tmp.data(), acc.data(), count);
+      }
+    }
+  }
+  if (my_rank_ == root) std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+sim::Task<void> Communicator::allreduce(const void* sendbuf, void* recvbuf,
+                                        int count, Datatype d, Op op) {
+  const int p = size();
+  const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
+  std::memcpy(recvbuf, sendbuf, bytes);
+  if (p == 1) co_return;
+  if (is_pow2(p)) {
+    // Recursive doubling: log2(p) exchange-and-combine rounds.
+    const int tag = next_coll_tag();
+    std::vector<std::byte> tmp(bytes);
+    for (int mask = 1; mask < p; mask <<= 1) {
+      const int partner = my_rank_ ^ mask;
+      co_await sendrecv_bytes(recvbuf, bytes, partner, tmp.data(), bytes,
+                              partner, tag, coll_context());
+      apply_op(op, d, tmp.data(), recvbuf, count);
+    }
+    co_return;
+  }
+  co_await reduce(sendbuf, recvbuf, count, d, op, 0);
+  co_await bcast(recvbuf, count, d, 0);
+}
+
+sim::Task<void> Communicator::gather(const void* sendbuf, int scount,
+                                     void* recvbuf, Datatype d, int root) {
+  const int p = size();
+  const std::size_t bytes =
+      static_cast<std::size_t>(scount) * datatype_size(d);
+  const int tag = next_coll_tag();
+  if (my_rank_ != root) {
+    Request r = co_await isend_bytes(sendbuf, bytes, root, tag,
+                                     coll_context());
+    co_await eng_->wait(r);
+    co_return;
+  }
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::vector<Request> reqs;
+  for (int r = 0; r < p; ++r) {
+    if (r == my_rank_) {
+      std::memcpy(out + static_cast<std::size_t>(r) * bytes, sendbuf, bytes);
+      continue;
+    }
+    reqs.push_back(co_await irecv_bytes(
+        out + static_cast<std::size_t>(r) * bytes, bytes, r, tag,
+        coll_context()));
+  }
+  co_await eng_->wait_all(reqs);
+}
+
+sim::Task<void> Communicator::gatherv(const void* sendbuf, int scount,
+                                      void* recvbuf,
+                                      std::span<const int> rcounts,
+                                      std::span<const int> displs, Datatype d,
+                                      int root) {
+  const int p = size();
+  const std::size_t el = datatype_size(d);
+  const int tag = next_coll_tag();
+  if (my_rank_ != root) {
+    Request r = co_await isend_bytes(
+        sendbuf, static_cast<std::size_t>(scount) * el, root, tag,
+        coll_context());
+    co_await eng_->wait(r);
+    co_return;
+  }
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::vector<Request> reqs;
+  for (int r = 0; r < p; ++r) {
+    std::byte* dst = out + static_cast<std::size_t>(displs[static_cast<std::size_t>(r)]) * el;
+    const std::size_t n =
+        static_cast<std::size_t>(rcounts[static_cast<std::size_t>(r)]) * el;
+    if (r == my_rank_) {
+      std::memcpy(dst, sendbuf, n);
+      continue;
+    }
+    reqs.push_back(
+        co_await irecv_bytes(dst, n, r, tag, coll_context()));
+  }
+  co_await eng_->wait_all(reqs);
+}
+
+sim::Task<void> Communicator::scatter(const void* sendbuf, int count,
+                                      void* recvbuf, Datatype d, int root) {
+  const int p = size();
+  const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
+  const int tag = next_coll_tag();
+  if (my_rank_ == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    std::vector<Request> reqs;
+    for (int r = 0; r < p; ++r) {
+      const std::byte* src = in + static_cast<std::size_t>(r) * bytes;
+      if (r == my_rank_) {
+        std::memcpy(recvbuf, src, bytes);
+        continue;
+      }
+      reqs.push_back(
+          co_await isend_bytes(src, bytes, r, tag, coll_context()));
+    }
+    co_await eng_->wait_all(reqs);
+    co_return;
+  }
+  Request r = co_await irecv_bytes(recvbuf, bytes, root, tag, coll_context());
+  co_await eng_->wait(r);
+}
+
+sim::Task<void> Communicator::scatterv(const void* sendbuf,
+                                       std::span<const int> scounts,
+                                       std::span<const int> displs,
+                                       void* recvbuf, int rcount, Datatype d,
+                                       int root) {
+  const int p = size();
+  const std::size_t el = datatype_size(d);
+  const int tag = next_coll_tag();
+  if (my_rank_ == root) {
+    const auto* in = static_cast<const std::byte*>(sendbuf);
+    std::vector<Request> reqs;
+    for (int r = 0; r < p; ++r) {
+      const std::byte* src =
+          in + static_cast<std::size_t>(displs[static_cast<std::size_t>(r)]) * el;
+      const std::size_t n =
+          static_cast<std::size_t>(scounts[static_cast<std::size_t>(r)]) * el;
+      if (r == my_rank_) {
+        std::memcpy(recvbuf, src, n);
+        continue;
+      }
+      reqs.push_back(co_await isend_bytes(src, n, r, tag, coll_context()));
+    }
+    co_await eng_->wait_all(reqs);
+    co_return;
+  }
+  Request r = co_await irecv_bytes(
+      recvbuf, static_cast<std::size_t>(rcount) * el, root, tag,
+      coll_context());
+  co_await eng_->wait(r);
+}
+
+sim::Task<void> Communicator::allgather(const void* sendbuf, int scount,
+                                        void* recvbuf, Datatype d) {
+  const int p = size();
+  const std::size_t bytes =
+      static_cast<std::size_t>(scount) * datatype_size(d);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(my_rank_) * bytes, sendbuf,
+              bytes);
+  if (p == 1) co_return;
+  const int tag = next_coll_tag();
+  // Ring: in step s, pass along the block originated by (rank - s).
+  const int to = (my_rank_ + 1) % p;
+  const int from = (my_rank_ - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (my_rank_ - s + p) % p;
+    const int recv_block = (my_rank_ - s - 1 + p) % p;
+    co_await sendrecv_bytes(
+        out + static_cast<std::size_t>(send_block) * bytes, bytes, to,
+        out + static_cast<std::size_t>(recv_block) * bytes, bytes, from, tag,
+        coll_context());
+  }
+}
+
+sim::Task<void> Communicator::allgatherv(const void* sendbuf, int scount,
+                                         void* recvbuf,
+                                         std::span<const int> rcounts,
+                                         std::span<const int> displs,
+                                         Datatype d) {
+  const int p = size();
+  const std::size_t el = datatype_size(d);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(
+                        displs[static_cast<std::size_t>(my_rank_)]) * el,
+              sendbuf, static_cast<std::size_t>(scount) * el);
+  if (p == 1) co_return;
+  const int tag = next_coll_tag();
+  const int to = (my_rank_ + 1) % p;
+  const int from = (my_rank_ - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int sb = (my_rank_ - s + p) % p;
+    const int rb = (my_rank_ - s - 1 + p) % p;
+    co_await sendrecv_bytes(
+        out + static_cast<std::size_t>(displs[static_cast<std::size_t>(sb)]) * el,
+        static_cast<std::size_t>(rcounts[static_cast<std::size_t>(sb)]) * el,
+        to,
+        out + static_cast<std::size_t>(displs[static_cast<std::size_t>(rb)]) * el,
+        static_cast<std::size_t>(rcounts[static_cast<std::size_t>(rb)]) * el,
+        from, tag, coll_context());
+  }
+}
+
+sim::Task<void> Communicator::alltoall(const void* sendbuf, int scount,
+                                       void* recvbuf, Datatype d) {
+  const int p = size();
+  const std::size_t bytes =
+      static_cast<std::size_t>(scount) * datatype_size(d);
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  std::memcpy(out + static_cast<std::size_t>(my_rank_) * bytes,
+              in + static_cast<std::size_t>(my_rank_) * bytes, bytes);
+  if (p == 1) co_return;
+  const int tag = next_coll_tag();
+  // Pairwise shift: step s exchanges with rank +- s.
+  for (int s = 1; s < p; ++s) {
+    const int to = (my_rank_ + s) % p;
+    const int from = (my_rank_ - s + p) % p;
+    co_await sendrecv_bytes(in + static_cast<std::size_t>(to) * bytes, bytes,
+                            to,
+                            out + static_cast<std::size_t>(from) * bytes,
+                            bytes, from, tag, coll_context());
+  }
+}
+
+sim::Task<void> Communicator::alltoallv(
+    const void* sendbuf, std::span<const int> scounts,
+    std::span<const int> sdispls, void* recvbuf,
+    std::span<const int> rcounts, std::span<const int> rdispls, Datatype d) {
+  const int p = size();
+  const std::size_t el = datatype_size(d);
+  const auto* in = static_cast<const std::byte*>(sendbuf);
+  auto* out = static_cast<std::byte*>(recvbuf);
+  auto sview = [&](int r) {
+    return in + static_cast<std::size_t>(sdispls[static_cast<std::size_t>(r)]) * el;
+  };
+  auto rview = [&](int r) {
+    return out + static_cast<std::size_t>(rdispls[static_cast<std::size_t>(r)]) * el;
+  };
+  std::memcpy(rview(my_rank_), sview(my_rank_),
+              static_cast<std::size_t>(scounts[static_cast<std::size_t>(my_rank_)]) * el);
+  if (p == 1) co_return;
+  const int tag = next_coll_tag();
+  for (int s = 1; s < p; ++s) {
+    const int to = (my_rank_ + s) % p;
+    const int from = (my_rank_ - s + p) % p;
+    co_await sendrecv_bytes(
+        sview(to),
+        static_cast<std::size_t>(scounts[static_cast<std::size_t>(to)]) * el,
+        to, rview(from),
+        static_cast<std::size_t>(rcounts[static_cast<std::size_t>(from)]) * el,
+        from, tag, coll_context());
+  }
+}
+
+sim::Task<void> Communicator::reduce_scatter(const void* sendbuf,
+                                             void* recvbuf,
+                                             std::span<const int> counts,
+                                             Datatype d, Op op) {
+  const int p = size();
+  int total = 0;
+  std::vector<int> displs(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    displs[static_cast<std::size_t>(r)] = total;
+    total += counts[static_cast<std::size_t>(r)];
+  }
+  std::vector<std::byte> full(static_cast<std::size_t>(total) *
+                              datatype_size(d));
+  co_await reduce(sendbuf, full.data(), total, d, op, 0);
+  co_await scatterv(full.data(), counts, displs, recvbuf,
+                    counts[static_cast<std::size_t>(my_rank_)], d, 0);
+}
+
+sim::Task<void> Communicator::scan(const void* sendbuf, void* recvbuf,
+                                   int count, Datatype d, Op op) {
+  const int p = size();
+  const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
+  std::memcpy(recvbuf, sendbuf, bytes);
+  if (p == 1) co_return;
+  const int tag = next_coll_tag();
+  if (my_rank_ > 0) {
+    std::vector<std::byte> tmp(bytes);
+    Request r = co_await irecv_bytes(tmp.data(), bytes, my_rank_ - 1, tag,
+                                     coll_context());
+    co_await eng_->wait(r);
+    apply_op(op, d, tmp.data(), recvbuf, count);
+  }
+  if (my_rank_ + 1 < p) {
+    Request r = co_await isend_bytes(recvbuf, bytes, my_rank_ + 1, tag,
+                                     coll_context());
+    co_await eng_->wait(r);
+  }
+}
+
+}  // namespace mpi

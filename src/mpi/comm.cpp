@@ -1,0 +1,133 @@
+#include "mpi/comm.hpp"
+
+#include "mpi/runtime.hpp"
+
+namespace mpi {
+
+sim::Task<Request> Communicator::isend_bytes(const void* buf,
+                                             std::size_t bytes, int dst,
+                                             int tag, std::uint64_t ctx) {
+  const int dst_world = dst == kProcNull ? kProcNull : world_rank(dst);
+  co_return co_await eng_->isend(buf, bytes, dst_world, my_rank_, tag, ctx);
+}
+
+sim::Task<Request> Communicator::irecv_bytes(void* buf, std::size_t bytes,
+                                             int src, int tag,
+                                             std::uint64_t ctx) {
+  co_return co_await eng_->irecv(buf, bytes, src, tag, ctx);
+}
+
+sim::Task<Request> Communicator::isend(const void* buf, int count, Datatype d,
+                                       int dst, int tag) {
+  co_return co_await isend_bytes(
+      buf, static_cast<std::size_t>(count) * datatype_size(d), dst, tag,
+      context_);
+}
+
+sim::Task<Request> Communicator::irecv(void* buf, int count, Datatype d,
+                                       int src, int tag) {
+  co_return co_await irecv_bytes(
+      buf, static_cast<std::size_t>(count) * datatype_size(d), src, tag,
+      context_);
+}
+
+sim::Task<void> Communicator::send(const void* buf, int count, Datatype d,
+                                   int dst, int tag) {
+  Request r = co_await isend(buf, count, d, dst, tag);
+  co_await eng_->wait(r);
+}
+
+sim::Task<void> Communicator::recv(void* buf, int count, Datatype d, int src,
+                                   int tag, Status* status) {
+  Request r = co_await irecv(buf, count, d, src, tag);
+  co_await eng_->wait(r);
+  if (status != nullptr) *status = r.status();
+}
+
+sim::Task<void> Communicator::sendrecv(const void* sbuf, int scount,
+                                       Datatype sd, int dst, int stag,
+                                       void* rbuf, int rcount, Datatype rd,
+                                       int src, int rtag, Status* status) {
+  Request rs = co_await isend(sbuf, scount, sd, dst, stag);
+  Request rr = co_await irecv(rbuf, rcount, rd, src, rtag);
+  const Request both[2] = {rs, rr};
+  co_await eng_->wait_all(both);
+  if (status != nullptr) *status = rr.status();
+}
+
+sim::Task<void> Communicator::sendrecv_bytes(const void* sbuf,
+                                             std::size_t sbytes, int dst,
+                                             void* rbuf, std::size_t rbytes,
+                                             int src, int tag,
+                                             std::uint64_t ctx) {
+  Request rs = co_await isend_bytes(sbuf, sbytes, dst, tag, ctx);
+  Request rr = co_await irecv_bytes(rbuf, rbytes, src, tag, ctx);
+  const Request both[2] = {rs, rr};
+  co_await eng_->wait_all(both);
+}
+
+sim::Task<void> Communicator::send_typed(const void* buf, int count,
+                                         const TypeLayout& layout, int dst,
+                                         int tag) {
+  const std::size_t bytes = layout.size() * static_cast<std::size_t>(count);
+  std::vector<std::byte> wire(bytes);
+  layout.pack(buf, count, wire.data());
+  // The pack is a real gather; charge it like any other copy.
+  co_await eng_->ctx().node->bus().transfer(
+      static_cast<std::int64_t>(2 * bytes));
+  Request r = co_await isend_bytes(wire.data(), bytes, dst, tag, context_);
+  co_await eng_->wait(r);
+}
+
+sim::Task<void> Communicator::recv_typed(void* buf, int count,
+                                         const TypeLayout& layout, int src,
+                                         int tag, Status* status) {
+  const std::size_t bytes = layout.size() * static_cast<std::size_t>(count);
+  std::vector<std::byte> wire(bytes);
+  Request r = co_await irecv_bytes(wire.data(), bytes, src, tag, context_);
+  co_await eng_->wait(r);
+  layout.unpack(wire.data(), count, buf);
+  co_await eng_->ctx().node->bus().transfer(
+      static_cast<std::int64_t>(2 * bytes));
+  if (status != nullptr) *status = r.status();
+}
+
+sim::Task<Communicator*> Communicator::split(int color, int key) {
+  // Gather (color, key) from everyone, then all members deterministically
+  // compute the subgroups.  The new context id is agreed by max-reduction
+  // of the runtime counters; disjoint subgroups may share it safely because
+  // messages are routed by world rank.
+  const int p = size();
+  struct Entry {
+    int color, key, rank;
+  };
+  std::vector<Entry> entries(static_cast<std::size_t>(p));
+  const Entry mine{color, key, my_rank_};
+  co_await allgather(&mine, static_cast<int>(sizeof(Entry)), entries.data(),
+                     Datatype::kByte);
+
+  std::uint64_t next_ctx = rt_->peek_next_context();
+  std::uint64_t agreed = 0;
+  co_await allreduce(&next_ctx, &agreed, 1, Datatype::kLong, Op::kMax);
+  rt_->bump_next_context(agreed + 2);
+
+  if (color < 0) co_return nullptr;  // MPI_UNDEFINED
+
+  std::vector<Entry> members;
+  for (const Entry& e : entries) {
+    if (e.color == color) members.push_back(e);
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+                   });
+  std::vector<int> group;
+  int my_new_rank = -1;
+  for (const Entry& e : members) {
+    if (e.rank == my_rank_) my_new_rank = static_cast<int>(group.size());
+    group.push_back(world_rank(e.rank));
+  }
+  co_return &rt_->adopt_comm(std::move(group), my_new_rank, agreed);
+}
+
+}  // namespace mpi

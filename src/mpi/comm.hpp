@@ -1,0 +1,139 @@
+// Communicators and the typed MPI-1 API.
+//
+// The API is the MPI-1 subset the paper's evaluation needs (all of the NAS
+// kernels run on it): blocking and nonblocking point-to-point with tag and
+// source wildcards, sendrecv, and the standard collective set.  Calls are
+// coroutines -- "blocking" means blocking in virtual time; nonblocking
+// calls may still charge local CPU time (matching, local copies) but never
+// wait on remote progress.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpi/datatype.hpp"
+#include "mpi/engine.hpp"
+#include "mpi/request.hpp"
+#include "mpi/types.hpp"
+
+namespace mpi {
+
+class Runtime;
+
+class Communicator {
+ public:
+  int rank() const noexcept { return my_rank_; }
+  int size() const noexcept { return static_cast<int>(group_.size()); }
+  Engine& engine() const noexcept { return *eng_; }
+  std::uint64_t context() const noexcept { return context_; }
+  /// World rank of a communicator rank.
+  int world_rank(int r) const { return group_.at(static_cast<std::size_t>(r)); }
+
+  double wtime() const { return eng_->wtime(); }
+
+  // ---- point-to-point -----------------------------------------------------
+  sim::Task<Request> isend(const void* buf, int count, Datatype d, int dst,
+                           int tag);
+  sim::Task<Request> irecv(void* buf, int count, Datatype d, int src, int tag);
+  sim::Task<void> send(const void* buf, int count, Datatype d, int dst,
+                       int tag);
+  sim::Task<void> recv(void* buf, int count, Datatype d, int src, int tag,
+                       Status* status = nullptr);
+  sim::Task<void> sendrecv(const void* sbuf, int scount, Datatype sd, int dst,
+                           int stag, void* rbuf, int rcount, Datatype rd,
+                           int src, int rtag, Status* status = nullptr);
+  /// Derived-datatype transfers (MPI_Type_vector and friends): the data is
+  /// packed through the dataloop engine into a contiguous wire format (a
+  /// modelled copy on each side) and moved as bytes.
+  sim::Task<void> send_typed(const void* buf, int count,
+                             const TypeLayout& layout, int dst, int tag);
+  sim::Task<void> recv_typed(void* buf, int count, const TypeLayout& layout,
+                             int src, int tag, Status* status = nullptr);
+
+  /// MPI_Probe / MPI_Iprobe: inspect a pending message's envelope without
+  /// receiving it (probe blocks; iprobe is a single progress pass).
+  sim::Task<Status> probe(int src, int tag) {
+    return eng_->probe(src, tag, context_);
+  }
+  sim::Task<bool> iprobe(int src, int tag, Status* st = nullptr) {
+    return eng_->iprobe(src, tag, context_, st);
+  }
+  sim::Task<void> wait(const Request& r) { return eng_->wait(r); }
+  sim::Task<void> wait_all(std::span<const Request> rs) {
+    return eng_->wait_all(rs);
+  }
+  sim::Task<bool> test(const Request& r) { return eng_->test(r); }
+
+  // ---- collectives ----------------------------------------------------------
+  sim::Task<void> barrier();
+  sim::Task<void> bcast(void* buf, int count, Datatype d, int root);
+  sim::Task<void> reduce(const void* sendbuf, void* recvbuf, int count,
+                         Datatype d, Op op, int root);
+  sim::Task<void> allreduce(const void* sendbuf, void* recvbuf, int count,
+                            Datatype d, Op op);
+  sim::Task<void> gather(const void* sendbuf, int scount, void* recvbuf,
+                         Datatype d, int root);
+  sim::Task<void> gatherv(const void* sendbuf, int scount, void* recvbuf,
+                          std::span<const int> rcounts,
+                          std::span<const int> displs, Datatype d, int root);
+  sim::Task<void> scatter(const void* sendbuf, int count, void* recvbuf,
+                          Datatype d, int root);
+  sim::Task<void> scatterv(const void* sendbuf, std::span<const int> scounts,
+                           std::span<const int> displs, void* recvbuf,
+                           int rcount, Datatype d, int root);
+  sim::Task<void> allgather(const void* sendbuf, int scount, void* recvbuf,
+                            Datatype d);
+  sim::Task<void> allgatherv(const void* sendbuf, int scount, void* recvbuf,
+                             std::span<const int> rcounts,
+                             std::span<const int> displs, Datatype d);
+  sim::Task<void> alltoall(const void* sendbuf, int scount, void* recvbuf,
+                           Datatype d);
+  sim::Task<void> alltoallv(const void* sendbuf, std::span<const int> scounts,
+                            std::span<const int> sdispls, void* recvbuf,
+                            std::span<const int> rcounts,
+                            std::span<const int> rdispls, Datatype d);
+  sim::Task<void> reduce_scatter(const void* sendbuf, void* recvbuf,
+                                 std::span<const int> counts, Datatype d,
+                                 Op op);
+  sim::Task<void> scan(const void* sendbuf, void* recvbuf, int count,
+                       Datatype d, Op op);
+
+  /// MPI_Comm_split.  Collective; returns the new communicator (owned by
+  /// the Runtime).  Pass color < 0 for MPI_UNDEFINED (returns nullptr).
+  sim::Task<Communicator*> split(int color, int key);
+
+ private:
+  friend class Runtime;
+  Communicator(Runtime& rt, Engine& eng, std::vector<int> group, int my_rank,
+               std::uint64_t context)
+      : rt_(&rt),
+        eng_(&eng),
+        group_(std::move(group)),
+        my_rank_(my_rank),
+        context_(context) {}
+
+  /// Raw byte-level helpers in communicator coordinates.
+  sim::Task<Request> isend_bytes(const void* buf, std::size_t bytes, int dst,
+                                 int tag, std::uint64_t ctx);
+  sim::Task<Request> irecv_bytes(void* buf, std::size_t bytes, int src,
+                                 int tag, std::uint64_t ctx);
+  sim::Task<void> sendrecv_bytes(const void* sbuf, std::size_t sbytes, int dst,
+                                 void* rbuf, std::size_t rbytes, int src,
+                                 int tag, std::uint64_t ctx);
+  std::uint64_t coll_context() const noexcept { return context_ + 1; }
+  /// Fresh tag for one collective invocation (advances identically on every
+  /// member because collectives are called in the same order).
+  int next_coll_tag() noexcept {
+    coll_seq_ = (coll_seq_ + 1) & 0x3fffff;
+    return static_cast<int>(coll_seq_);
+  }
+
+  Runtime* rt_;
+  Engine* eng_;
+  std::vector<int> group_;  // comm rank -> world rank
+  int my_rank_;
+  std::uint64_t context_;
+  std::uint32_t coll_seq_ = 0;
+};
+
+}  // namespace mpi

@@ -1,0 +1,99 @@
+#include "mpi/datatype.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mpi {
+
+TypeLayout::TypeLayout(std::vector<Block> blocks, std::size_t extent)
+    : extent_(extent) {
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.offset < b.offset; });
+  // Coalesce adjacent runs so pack/unpack do as few memcpys as possible.
+  for (const Block& b : blocks) {
+    if (b.length == 0) continue;
+    if (!blocks_.empty() &&
+        blocks_.back().offset + blocks_.back().length == b.offset) {
+      blocks_.back().length += b.length;
+    } else {
+      blocks_.push_back(b);
+    }
+    size_ += b.length;
+  }
+  if (!blocks_.empty()) {
+    extent_ = std::max(extent_,
+                       blocks_.back().offset + blocks_.back().length);
+  }
+}
+
+TypeLayout TypeLayout::contiguous(int count, Datatype base) {
+  const std::size_t el = datatype_size(base);
+  std::vector<Block> blocks{
+      Block{0, static_cast<std::size_t>(count) * el}};
+  return TypeLayout(std::move(blocks), static_cast<std::size_t>(count) * el);
+}
+
+TypeLayout TypeLayout::vector(int count, int blocklen, int stride,
+                              Datatype base) {
+  if (blocklen > stride && count > 1) {
+    throw MpiError("Type_vector: overlapping blocks (blocklen > stride)");
+  }
+  const std::size_t el = datatype_size(base);
+  std::vector<Block> blocks;
+  blocks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    blocks.push_back(Block{static_cast<std::size_t>(i) *
+                               static_cast<std::size_t>(stride) * el,
+                           static_cast<std::size_t>(blocklen) * el});
+  }
+  // MPI extent of a vector: from the first to one past the last block.
+  const std::size_t extent =
+      count > 0 ? (static_cast<std::size_t>(count - 1) *
+                       static_cast<std::size_t>(stride) +
+                   static_cast<std::size_t>(blocklen)) *
+                      el
+                : 0;
+  return TypeLayout(std::move(blocks), extent);
+}
+
+TypeLayout TypeLayout::indexed(std::span<const int> blocklens,
+                               std::span<const int> displs, Datatype base) {
+  if (blocklens.size() != displs.size()) {
+    throw MpiError("Type_indexed: mismatched block/displacement counts");
+  }
+  const std::size_t el = datatype_size(base);
+  std::vector<Block> blocks;
+  blocks.reserve(blocklens.size());
+  for (std::size_t i = 0; i < blocklens.size(); ++i) {
+    blocks.push_back(
+        Block{static_cast<std::size_t>(displs[i]) * el,
+              static_cast<std::size_t>(blocklens[i]) * el});
+  }
+  return TypeLayout(std::move(blocks), 0);
+}
+
+void TypeLayout::pack(const void* src, int count, void* dst) const {
+  const auto* in = static_cast<const std::byte*>(src);
+  auto* out = static_cast<std::byte*>(dst);
+  for (int c = 0; c < count; ++c) {
+    const std::byte* base = in + static_cast<std::size_t>(c) * extent_;
+    for (const Block& b : blocks_) {
+      std::memcpy(out, base + b.offset, b.length);
+      out += b.length;
+    }
+  }
+}
+
+void TypeLayout::unpack(const void* src, int count, void* dst) const {
+  const auto* in = static_cast<const std::byte*>(src);
+  auto* out = static_cast<std::byte*>(dst);
+  for (int c = 0; c < count; ++c) {
+    std::byte* base = out + static_cast<std::size_t>(c) * extent_;
+    for (const Block& b : blocks_) {
+      std::memcpy(base + b.offset, in, b.length);
+      in += b.length;
+    }
+  }
+}
+
+}  // namespace mpi

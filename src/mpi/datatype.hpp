@@ -1,0 +1,59 @@
+// Derived datatypes: typemap-based descriptions of non-contiguous data
+// (MPI_Type_contiguous / MPI_Type_vector / MPI_Type_indexed).
+//
+// Over a byte-stream channel, MPICH moves non-contiguous datatypes by
+// packing them through a "dataloop" engine; this module is that engine.
+// A TypeLayout is a normalized list of (offset, length) byte blocks plus
+// an extent; typed sends pack into a contiguous staging buffer (a modelled
+// copy, like any other), move bytes, and unpack at the receiver.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace mpi {
+
+class TypeLayout {
+ public:
+  /// `count` consecutive elements of a basic datatype.
+  static TypeLayout contiguous(int count, Datatype base);
+
+  /// `count` blocks of `blocklen` base elements, the starts of consecutive
+  /// blocks `stride` base elements apart (MPI_Type_vector).
+  static TypeLayout vector(int count, int blocklen, int stride,
+                           Datatype base);
+
+  /// Blocks of `blocklens[i]` base elements at element displacement
+  /// `displs[i]` (MPI_Type_indexed).
+  static TypeLayout indexed(std::span<const int> blocklens,
+                            std::span<const int> displs, Datatype base);
+
+  /// Total payload bytes of one element of this type.
+  std::size_t size() const noexcept { return size_; }
+  /// Distance in bytes between consecutive elements of this type.
+  std::size_t extent() const noexcept { return extent_; }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  /// Gathers `count` elements starting at `src` into the contiguous `dst`
+  /// (which must hold count * size() bytes).
+  void pack(const void* src, int count, void* dst) const;
+  /// Scatters the contiguous `src` into `count` elements at `dst`.
+  void unpack(const void* src, int count, void* dst) const;
+
+ private:
+  struct Block {
+    std::size_t offset;
+    std::size_t length;
+  };
+
+  TypeLayout(std::vector<Block> blocks, std::size_t extent);
+
+  std::vector<Block> blocks_;  // normalized: sorted, adjacent runs merged
+  std::size_t size_ = 0;
+  std::size_t extent_ = 0;
+};
+
+}  // namespace mpi

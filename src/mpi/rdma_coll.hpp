@@ -1,0 +1,112 @@
+// RDMA-accelerated collectives -- the paper's third future-work item ("we
+// are also working on how to support efficient collective communication on
+// top of InfiniBand").
+//
+// The point-to-point collectives in collectives.cpp pay the full MPI stack
+// (matching, request management, channel framing) on every hop.  This
+// module implements the latency-critical collectives *directly* on RDMA
+// writes into pre-registered per-communicator buffers, the way the
+// RDMA-collective literature of the era does (cf. the paper's citation
+// [21], "Efficient Collective Operations using Remote Memory Operations"):
+//
+//   * barrier    -- dissemination, one 16-byte flag write per round
+//   * bcast      -- binomial tree, payload + flag in one write per edge
+//   * allreduce  -- recursive doubling with per-round exchange slots
+//                   (power-of-two communicators; falls back to the
+//                   point-to-point algorithm otherwise)
+//
+// Slot discipline: every rank owns one receive slot per algorithm round;
+// a slot is stamped with the collective's sequence number, so reuse across
+// operations needs no handshake (collectives are called in the same order
+// by every member, which MPI already requires).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ib/cq.hpp"
+#include "ib/mr.hpp"
+#include "ib/qp.hpp"
+#include "mpi/comm.hpp"
+
+namespace mpi {
+
+class RdmaColl {
+ public:
+  /// Collective over `comm`.  `max_payload` bounds the per-slot payload
+  /// (allreduce/bcast fall back to point-to-point beyond it).
+  static sim::Task<std::unique_ptr<RdmaColl>> create(
+      Communicator& comm, std::size_t max_payload = 4096);
+
+  ~RdmaColl();
+  RdmaColl(const RdmaColl&) = delete;
+  RdmaColl& operator=(const RdmaColl&) = delete;
+
+  sim::Task<void> barrier();
+  sim::Task<void> bcast(void* buf, int count, Datatype d, int root);
+  sim::Task<void> allreduce(const void* sendbuf, void* recvbuf, int count,
+                            Datatype d, Op op);
+
+  std::uint64_t rdma_ops() const noexcept { return rdma_ops_; }
+
+ private:
+  struct Slot {
+    std::uint64_t flag = 0;   // sequence stamp; written last semantically
+    std::uint64_t bytes = 0;  // valid payload length
+    // payload follows
+  };
+
+  struct Peer {
+    ib::QueuePair* qp = nullptr;
+    std::uint64_t raddr = 0;  // peer's slot array base
+    std::uint32_t rkey = 0;
+  };
+
+  RdmaColl(Communicator& comm, std::size_t max_payload);
+  sim::Task<void> init();
+
+  /// Slots are rotated kSlotDepth deep per round so an in-flight write for
+  /// operation N+k never clobbers a slot a lagging peer has not read yet
+  /// (see the reuse analysis in rdma_coll.cpp).
+  static constexpr int kSlotDepth = 8;
+
+  std::size_t slot_stride() const noexcept {
+    return sizeof(Slot) + max_payload_;
+  }
+  std::size_t slot_index(int round, std::uint64_t seq) const noexcept {
+    return (static_cast<std::size_t>(round) * kSlotDepth +
+            static_cast<std::size_t>(seq % kSlotDepth)) *
+           slot_stride();
+  }
+  Slot* my_slot(int round, std::uint64_t seq) {
+    return reinterpret_cast<Slot*>(recv_.data() + slot_index(round, seq));
+  }
+
+  /// RDMA-writes `bytes` of `data` (may be null for flag-only) stamped
+  /// with `seq` into `peer`'s slot for `round`.
+  sim::Task<void> write_slot(int peer, int round, const void* data,
+                             std::size_t bytes, std::uint64_t seq);
+  /// Polls (sleeping on dma_arrival) until my slot for `round` carries
+  /// `seq`; returns its payload pointer.
+  sim::Task<const std::byte*> wait_slot(int round, std::uint64_t seq);
+
+  static std::uint64_t& coll_seq_counter();
+
+  Communicator* comm_;
+  std::size_t max_payload_;
+  int rounds_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t seq_ = 0;
+
+  ib::ProtectionDomain* pd_ = nullptr;
+  ib::CompletionQueue* cq_ = nullptr;
+  std::vector<std::byte> recv_;     // my slot array (peers write here)
+  std::vector<std::byte> staging_;  // registered send-side assembly area
+  ib::MemoryRegion* recv_mr_ = nullptr;
+  ib::MemoryRegion* staging_mr_ = nullptr;
+  std::vector<Peer> peers_;
+  std::uint64_t wr_seq_ = 0;
+  std::uint64_t rdma_ops_ = 0;
+};
+
+}  // namespace mpi

@@ -1,0 +1,99 @@
+#include <algorithm>
+
+#include "mpi/types.hpp"
+
+namespace mpi {
+
+namespace {
+
+template <class T>
+void apply_arith(Op op, const T* in, T* inout, int count) {
+  switch (op) {
+    case Op::kSum:
+      for (int i = 0; i < count; ++i) inout[i] = inout[i] + in[i];
+      return;
+    case Op::kProd:
+      for (int i = 0; i < count; ++i) inout[i] = inout[i] * in[i];
+      return;
+    case Op::kMax:
+      for (int i = 0; i < count; ++i) inout[i] = std::max(inout[i], in[i]);
+      return;
+    case Op::kMin:
+      for (int i = 0; i < count; ++i) inout[i] = std::min(inout[i], in[i]);
+      return;
+    default:
+      break;
+  }
+  throw MpiError("reduction op not defined for this datatype");
+}
+
+template <class T>
+void apply_logical(Op op, const T* in, T* inout, int count) {
+  switch (op) {
+    case Op::kLand:
+      for (int i = 0; i < count; ++i) inout[i] = (inout[i] && in[i]) ? 1 : 0;
+      return;
+    case Op::kLor:
+      for (int i = 0; i < count; ++i) inout[i] = (inout[i] || in[i]) ? 1 : 0;
+      return;
+    case Op::kBand:
+      for (int i = 0; i < count; ++i) inout[i] = inout[i] & in[i];
+      return;
+    case Op::kBor:
+      for (int i = 0; i < count; ++i) inout[i] = inout[i] | in[i];
+      return;
+    default:
+      apply_arith(op, in, inout, count);
+      return;
+  }
+}
+
+void apply_loc(Op op, const DoubleInt* in, DoubleInt* inout, int count) {
+  for (int i = 0; i < count; ++i) {
+    const bool take =
+        op == Op::kMaxLoc
+            ? (in[i].value > inout[i].value ||
+               (in[i].value == inout[i].value && in[i].index < inout[i].index))
+            : (in[i].value < inout[i].value ||
+               (in[i].value == inout[i].value && in[i].index < inout[i].index));
+    if (take) inout[i] = in[i];
+  }
+}
+
+}  // namespace
+
+void apply_op(Op op, Datatype d, const void* in, void* inout, int count) {
+  switch (d) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      apply_logical(op, static_cast<const std::uint8_t*>(in),
+                    static_cast<std::uint8_t*>(inout), count);
+      return;
+    case Datatype::kInt:
+      apply_logical(op, static_cast<const std::int32_t*>(in),
+                    static_cast<std::int32_t*>(inout), count);
+      return;
+    case Datatype::kLong:
+      apply_logical(op, static_cast<const std::int64_t*>(in),
+                    static_cast<std::int64_t*>(inout), count);
+      return;
+    case Datatype::kFloat:
+      apply_arith(op, static_cast<const float*>(in), static_cast<float*>(inout),
+                  count);
+      return;
+    case Datatype::kDouble:
+      apply_arith(op, static_cast<const double*>(in),
+                  static_cast<double*>(inout), count);
+      return;
+    case Datatype::kDoubleInt:
+      if (op != Op::kMaxLoc && op != Op::kMinLoc) {
+        throw MpiError("kDoubleInt supports only kMaxLoc/kMinLoc");
+      }
+      apply_loc(op, static_cast<const DoubleInt*>(in),
+                static_cast<DoubleInt*>(inout), count);
+      return;
+  }
+  throw MpiError("unknown datatype in reduction");
+}
+
+}  // namespace mpi

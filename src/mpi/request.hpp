@@ -1,0 +1,45 @@
+// Nonblocking-operation requests.
+#pragma once
+
+#include <memory>
+
+#include "ch3/ch3.hpp"
+#include "mpi/types.hpp"
+
+namespace mpi {
+
+namespace detail {
+
+struct ReqState {
+  bool is_send = false;
+  bool recv_done = false;
+  ch3::SendReq ch3_send;  // channel flips ch3_send.done for sends
+  Status status;
+
+  bool completed() const noexcept {
+    return is_send ? ch3_send.done : recv_done;
+  }
+};
+
+}  // namespace detail
+
+/// Handle to a pending isend/irecv.  Copyable; all copies observe the same
+/// completion state.  A default-constructed Request is already complete
+/// (the MPI_REQUEST_NULL analogue).
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::ReqState> s) : s_(std::move(s)) {}
+
+  bool done() const noexcept { return !s_ || s_->completed(); }
+  const Status& status() const {
+    static const Status kEmpty{};
+    return s_ ? s_->status : kEmpty;
+  }
+  detail::ReqState* state() const noexcept { return s_.get(); }
+
+ private:
+  std::shared_ptr<detail::ReqState> s_;
+};
+
+}  // namespace mpi

@@ -1,0 +1,80 @@
+// MPI-1 value types: datatypes, reduction operations, status, wildcards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// MPI_PROC_NULL: sends/receives to it complete immediately with no data.
+inline constexpr int kProcNull = -2;
+
+enum class Datatype : std::uint8_t {
+  kByte,
+  kChar,
+  kInt,
+  kLong,
+  kFloat,
+  kDouble,
+  kDoubleInt,  // {double, int} pairs, for kMaxLoc / kMinLoc
+};
+
+/// Element type for kDoubleInt reductions.
+struct DoubleInt {
+  double value;
+  std::int32_t index;
+};
+
+constexpr std::size_t datatype_size(Datatype d) {
+  switch (d) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      return 1;
+    case Datatype::kInt:
+      return 4;
+    case Datatype::kFloat:
+      return 4;
+    case Datatype::kLong:
+      return 8;
+    case Datatype::kDouble:
+      return 8;
+    case Datatype::kDoubleInt:
+      return sizeof(DoubleInt);
+  }
+  return 0;
+}
+
+enum class Op : std::uint8_t {
+  kSum,
+  kProd,
+  kMax,
+  kMin,
+  kLand,
+  kLor,
+  kBand,
+  kBor,
+  kMaxLoc,
+  kMinLoc,
+};
+
+/// Applies `inout[i] = inout[i] OP in[i]` elementwise.
+void apply_op(Op op, Datatype d, const void* in, void* inout, int count);
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+
+  int count(Datatype d) const {
+    return static_cast<int>(bytes / datatype_size(d));
+  }
+};
+
+class MpiError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace mpi

@@ -1,0 +1,232 @@
+#include "mpi/window.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "ib/hca.hpp"
+#include "ib/node.hpp"
+
+namespace mpi {
+
+Window::Window(Communicator& comm, void* base, std::size_t bytes)
+    : comm_(&comm), base_(static_cast<std::byte*>(base)), bytes_(bytes) {}
+
+Window::~Window() = default;
+
+sim::Task<std::unique_ptr<Window>> Window::create(Communicator& comm,
+                                                  void* base,
+                                                  std::size_t bytes) {
+  auto win = std::unique_ptr<Window>(new Window(comm, base, bytes));
+  co_await win->init();
+  co_return win;
+}
+
+sim::Task<void> Window::init() {
+  Engine& eng = comm_->engine();
+  pmi::Context& ctx = eng.ctx();
+  pmi::Kvs& kvs = *ctx.kvs;
+  const int p = comm_->size();
+  const int me = comm_->rank();
+
+  // All members agree on a fresh window id (same trick as comm split).
+  std::uint64_t local_seq = ++win_seq_counter();
+  std::uint64_t agreed = 0;
+  co_await comm_->allreduce(&local_seq, &agreed, 1, Datatype::kLong,
+                            Op::kMax);
+  win_id_ = (comm_->context() << 20) | agreed;
+
+  pd_ = &ctx.node->hca().alloc_pd();
+  cq_ = &ctx.node->hca().create_cq("win" + std::to_string(win_id_) + ".cq");
+  mr_ = co_await pd_->register_memory(base_, bytes_, ib::kAllAccess);
+  cache_ = std::make_unique<rdmach::RegCache>(*pd_, 64u << 20, true);
+
+  auto key = [this](int from, int to, const char* what) {
+    return "win:" + std::to_string(win_id_) + ":" + std::to_string(from) +
+           ":" + std::to_string(to) + ":" + what;
+  };
+
+  peers_.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    ib::QueuePair& qp = ctx.node->hca().create_qp(*pd_, *cq_, *cq_);
+    peers_[static_cast<std::size_t>(r)].qp = &qp;
+    kvs.put_u64(key(me, r, "qpn"), qp.qp_num());
+  }
+  kvs.put_u64(key(me, -1, "addr"), reinterpret_cast<std::uint64_t>(base_));
+  kvs.put_u64(key(me, -1, "rkey"), mr_->rkey());
+
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    Peer& peer = peers_[static_cast<std::size_t>(r)];
+    peer.raddr = co_await kvs.get_u64(key(r, -1, "addr"));
+    peer.rkey =
+        static_cast<std::uint32_t>(co_await kvs.get_u64(key(r, -1, "rkey")));
+    if (me < r) {
+      const auto peer_qpn = static_cast<std::uint32_t>(
+          co_await kvs.get_u64(key(r, me, "qpn")));
+      ib::QueuePair* remote = ctx.fabric().find_qp(peer_qpn);
+      peer.qp->connect(*remote);
+    }
+  }
+  co_await comm_->barrier();
+}
+
+std::uint64_t& Window::win_seq_counter() {
+  static std::uint64_t counter = 0;
+  return counter;
+}
+
+void Window::drain_cq() {
+  while (auto wc = cq_->poll()) completed_[wc->wr_id] = *wc;
+}
+
+sim::Task<ib::Wc> Window::await_wc(std::uint64_t wr_id) {
+  for (;;) {
+    drain_cq();
+    auto it = completed_.find(wr_id);
+    if (it != completed_.end()) {
+      ib::Wc wc = it->second;
+      completed_.erase(it);
+      if (wc.status != ib::WcStatus::kSuccess) {
+        throw MpiError(std::string("one-sided operation failed: ") +
+                       ib::to_string(wc.status));
+      }
+      co_return wc;
+    }
+    co_await cq_->wait_nonempty();
+  }
+}
+
+void Window::check_range(int target, std::size_t disp,
+                         std::size_t len) const {
+  (void)target;
+  if (disp + len > bytes_) {
+    throw MpiError("one-sided access outside the window");
+  }
+}
+
+std::uint64_t Window::post_rma(int target, ib::Opcode op, void* local,
+                               std::size_t len, std::size_t disp,
+                               std::uint64_t atomic_arg,
+                               std::uint64_t atomic_swap) {
+  Peer& peer = peers_.at(static_cast<std::size_t>(target));
+  const std::uint64_t wr_id = ++wr_seq_;
+  ib::SendWr wr;
+  wr.wr_id = wr_id;
+  wr.opcode = op;
+  wr.remote_addr = peer.raddr + disp;
+  wr.rkey = peer.rkey;
+  wr.signaled = true;
+  wr.atomic_arg = atomic_arg;
+  wr.atomic_swap = atomic_swap;
+  // The SGE lkey is filled by the caller via pinned_ registration.
+  wr.sgl = {ib::Sge{static_cast<std::byte*>(local), len,
+                    pinned_.back().second->lkey()}};
+  peer.qp->post_send(std::move(wr));
+  pending_.push_back(wr_id);
+  return wr_id;
+}
+
+sim::Task<void> Window::put(const void* origin, int count, Datatype d,
+                            int target, std::size_t disp) {
+  const std::size_t len = static_cast<std::size_t>(count) * datatype_size(d);
+  check_range(target, disp, len);
+  if (target == comm_->rank()) {
+    co_await comm_->engine().ctx().node->copy(base_ + disp, origin, len);
+    co_return;
+  }
+  ib::MemoryRegion* mr = co_await cache_->acquire(origin, len);
+  pinned_.emplace_back(wr_seq_ + 1, mr);
+  post_rma(target, ib::Opcode::kRdmaWrite, const_cast<void*>(origin), len,
+           disp);
+}
+
+sim::Task<void> Window::get(void* origin, int count, Datatype d, int target,
+                            std::size_t disp) {
+  const std::size_t len = static_cast<std::size_t>(count) * datatype_size(d);
+  check_range(target, disp, len);
+  if (target == comm_->rank()) {
+    co_await comm_->engine().ctx().node->copy(origin, base_ + disp, len);
+    co_return;
+  }
+  ib::MemoryRegion* mr = co_await cache_->acquire(origin, len);
+  pinned_.emplace_back(wr_seq_ + 1, mr);
+  post_rma(target, ib::Opcode::kRdmaRead, origin, len, disp);
+}
+
+sim::Task<void> Window::accumulate(const void* origin, int count, Datatype d,
+                                   Op op, int target, std::size_t disp) {
+  const std::size_t len = static_cast<std::size_t>(count) * datatype_size(d);
+  check_range(target, disp, len);
+  if (target == comm_->rank()) {
+    apply_op(op, d, origin, base_ + disp, count);
+    co_return;
+  }
+  // Read-modify-write emulation: fetch the target range, combine locally,
+  // write it back -- fully synchronous so the epoch restriction is the
+  // only correctness caveat.
+  std::vector<std::byte> tmp(len);
+  ib::MemoryRegion* mr = co_await cache_->acquire(tmp.data(), len);
+  pinned_.emplace_back(wr_seq_ + 1, mr);
+  const std::uint64_t rd = post_rma(target, ib::Opcode::kRdmaRead, tmp.data(),
+                                    len, disp);
+  (void)co_await await_wc(rd);
+  apply_op(op, d, origin, tmp.data(), count);
+  pinned_.emplace_back(wr_seq_ + 1, mr);
+  const std::uint64_t wr = post_rma(target, ib::Opcode::kRdmaWrite,
+                                    tmp.data(), len, disp);
+  (void)co_await await_wc(wr);
+  // tmp dies here: both operations completed, safe to unpin.
+  co_await cache_->release(mr);
+  co_await cache_->release(mr);
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), rd),
+                 pending_.end());
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), wr),
+                 pending_.end());
+  pinned_.erase(std::remove_if(pinned_.begin(), pinned_.end(),
+                               [mr](const auto& p) { return p.second == mr; }),
+                pinned_.end());
+}
+
+sim::Task<std::int64_t> Window::fetch_add(int target, std::size_t disp,
+                                          std::int64_t value) {
+  check_range(target, disp, 8);
+  if (target == comm_->rank()) {
+    auto* p = reinterpret_cast<std::int64_t*>(base_ + disp);
+    const std::int64_t old = *p;
+    *p += value;
+    co_return old;
+  }
+  std::uint64_t old = 0;
+  ib::MemoryRegion* mr = co_await cache_->acquire(&old, 8);
+  pinned_.emplace_back(wr_seq_ + 1, mr);
+  const std::uint64_t id =
+      post_rma(target, ib::Opcode::kFetchAdd, &old, 8, disp,
+               static_cast<std::uint64_t>(value));
+  (void)co_await await_wc(id);
+  co_await cache_->release(mr);
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                 pending_.end());
+  pinned_.erase(std::remove_if(pinned_.begin(), pinned_.end(),
+                               [mr](const auto& p) { return p.second == mr; }),
+                pinned_.end());
+  co_return static_cast<std::int64_t>(old);
+}
+
+sim::Task<void> Window::fence() {
+  // Local completion of everything issued this epoch...
+  for (std::uint64_t id : pending_) {
+    (void)co_await await_wc(id);
+  }
+  pending_.clear();
+  for (auto& [id, mr] : pinned_) {
+    co_await cache_->release(mr);
+  }
+  pinned_.clear();
+  // ...then the collective epoch boundary.  RC ordering means a write
+  // whose CQE we have seen is already visible at the target, so the
+  // barrier is sufficient for the fence semantics.
+  co_await comm_->barrier();
+}
+
+}  // namespace mpi

@@ -1,0 +1,110 @@
+// MPI-2 one-sided communication over RDMA -- the paper's stated future
+// work ("provide support for MPI-2 functionalities such as one-sided
+// communication using RDMA and atomic operations in InfiniBand",
+// section 9), built exactly the way the paper anticipates: puts and gets
+// map 1:1 onto RDMA writes and reads against the exposed window memory,
+// fetch_add maps onto the InfiniBand atomic, and active-target
+// synchronization (fence) is a completion drain plus a barrier.
+//
+// Supported subset and semantics:
+//   * create()    -- collective; registers the window memory and builds a
+//                    dedicated QP mesh (one-sided traffic does not touch
+//                    the two-sided channel at all).
+//   * put/get     -- nonblocking RMA; complete at the next fence().
+//   * accumulate  -- read-modify-write emulation (RDMA read, local op,
+//                    RDMA write).  Because the target CPU is not involved,
+//                    concurrent conflicting accumulates to the same
+//                    location from *different* origins within one epoch
+//                    are not supported (documented restriction).
+//   * fetch_add   -- genuinely atomic 64-bit fetch-and-add via the HCA.
+//   * fence()     -- closes the epoch: waits for local completions of all
+//                    issued RMA, then synchronizes the communicator.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ib/cq.hpp"
+#include "ib/mr.hpp"
+#include "ib/qp.hpp"
+#include "mpi/comm.hpp"
+#include "rdmach/reg_cache.hpp"
+
+namespace mpi {
+
+class Window {
+ public:
+  /// Collective over `comm`: every rank exposes [base, base+bytes).
+  static sim::Task<std::unique_ptr<Window>> create(Communicator& comm,
+                                                   void* base,
+                                                   std::size_t bytes);
+
+  ~Window();
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  /// RDMA-writes `count` elements into target's window at byte
+  /// displacement `disp`.  Origin buffer must stay valid until fence().
+  sim::Task<void> put(const void* origin, int count, Datatype d, int target,
+                      std::size_t disp);
+
+  /// RDMA-reads from the target's window into `origin`.
+  sim::Task<void> get(void* origin, int count, Datatype d, int target,
+                      std::size_t disp);
+
+  /// Read-modify-write accumulate (see restriction in the header comment).
+  sim::Task<void> accumulate(const void* origin, int count, Datatype d, Op op,
+                             int target, std::size_t disp);
+
+  /// Atomic 64-bit fetch-and-add on the target window word; returns the
+  /// value before the addition.  Safe under arbitrary concurrency.
+  sim::Task<std::int64_t> fetch_add(int target, std::size_t disp,
+                                    std::int64_t value);
+
+  /// Active-target epoch boundary.
+  sim::Task<void> fence();
+
+  Communicator& comm() const noexcept { return *comm_; }
+  std::size_t size_bytes() const noexcept { return bytes_; }
+
+ private:
+  Window(Communicator& comm, void* base, std::size_t bytes);
+
+  /// Process-wide window-creation counter; combined with an allreduce it
+  /// yields an id all members agree on (create() is collective).
+  static std::uint64_t& win_seq_counter();
+
+  struct Peer {
+    ib::QueuePair* qp = nullptr;
+    std::uint64_t raddr = 0;
+    std::uint32_t rkey = 0;
+  };
+
+  sim::Task<void> init();
+  sim::Task<ib::Wc> await_wc(std::uint64_t wr_id);
+  void drain_cq();
+  std::uint64_t post_rma(int target, ib::Opcode op, void* local,
+                         std::size_t len, std::size_t disp,
+                         std::uint64_t atomic_arg = 0,
+                         std::uint64_t atomic_swap = 0);
+  void check_range(int target, std::size_t disp, std::size_t len) const;
+
+  Communicator* comm_;
+  std::byte* base_;
+  std::size_t bytes_;
+  std::uint64_t win_id_ = 0;
+
+  ib::ProtectionDomain* pd_ = nullptr;
+  ib::CompletionQueue* cq_ = nullptr;
+  ib::MemoryRegion* mr_ = nullptr;
+  std::unique_ptr<rdmach::RegCache> cache_;
+  std::vector<Peer> peers_;
+
+  std::uint64_t wr_seq_ = 0;
+  std::vector<std::uint64_t> pending_;  // RMA issued this epoch
+  std::unordered_map<std::uint64_t, ib::Wc> completed_;
+  std::vector<std::pair<std::uint64_t, ib::MemoryRegion*>> pinned_;
+};
+
+}  // namespace mpi

@@ -1,0 +1,262 @@
+// FT -- 3-D fast Fourier transform.
+//
+// Complex radix-2 FFTs along x and y on local z-slabs, then a global
+// transpose (alltoall of large blocks -- the benchmark's signature
+// communication) to make z local for the final pass.  Each iteration runs
+// forward + inverse transforms; verification checks the round trip against
+// the original field and a checksum reduction.
+// Scaled grids (nx, ny, nz): S 32^3, W 64x32x32, A 64^3, B 128x64x64
+// (official A is 256x256x128).
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "nas/nas.hpp"
+#include "nas/nas_random.hpp"
+
+namespace nas {
+
+namespace {
+
+using Cplx = std::complex<double>;
+
+struct FtConfig {
+  int nx, ny, nz;
+  int iters;
+};
+
+FtConfig ft_config(Class c) {
+  switch (c) {
+    case Class::S:
+      return {32, 32, 32, 2};
+    case Class::W:
+      return {64, 32, 32, 2};
+    case Class::A:
+      return {64, 64, 64, 4};
+    case Class::B:
+      return {128, 64, 64, 4};
+  }
+  return {32, 32, 32, 2};
+}
+
+/// In-place iterative radix-2 FFT of length n (power of two).
+/// sign = -1 forward, +1 inverse (unnormalized).
+void fft1d(Cplx* a, int n, int sign) {
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * M_PI / len;
+    const Cplx wl(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const Cplx u = a[i + k];
+        const Cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+double fft_flops(int n) { return 5.0 * n * std::log2(static_cast<double>(n)); }
+
+}  // namespace
+
+sim::Task<Result> ft(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
+  const FtConfig cfg = ft_config(cls);
+  const int p = world.size();
+  const int rank = world.rank();
+  const int nzl = cfg.nz / p;  // local z planes (z-slab layout)
+  const int nxl = cfg.nx / p;  // local x pencils (after transpose)
+  const std::size_t local_n =
+      static_cast<std::size_t>(nzl) * cfg.ny * cfg.nx;
+
+  // Deterministic initial field from the NAS stream (sliced per rank).
+  std::vector<Cplx> u0(local_n);
+  {
+    double seed =
+        advance_seed(314159265.0, kDefaultA,
+                     2 * static_cast<std::int64_t>(local_n) * rank);
+    for (auto& c : u0) {
+      const double re = randlc(&seed, kDefaultA);
+      const double im = randlc(&seed, kDefaultA);
+      c = Cplx(re, im);
+    }
+  }
+
+  // work[z][y][x] layout, x fastest.
+  auto at = [&](std::vector<Cplx>& v, int z, int y, int x) -> Cplx& {
+    return v[(static_cast<std::size_t>(z) * cfg.ny + y) * cfg.nx + x];
+  };
+  // transposed layout: [x_local][y][z], z fastest.
+  auto att = [&](std::vector<Cplx>& v, int xl, int y, int z) -> Cplx& {
+    return v[(static_cast<std::size_t>(xl) * cfg.ny + y) * cfg.nz + z];
+  };
+
+  std::vector<Cplx> work = u0;
+  std::vector<Cplx> tr(static_cast<std::size_t>(nxl) * cfg.ny * cfg.nz);
+  std::vector<Cplx> sendbuf(local_n), recvbuf(local_n);
+  std::vector<Cplx> line(static_cast<std::size_t>(
+      std::max(std::max(cfg.nx, cfg.ny), cfg.nz)));
+
+  // Forward (sign=-1) or inverse (sign=+1) distributed 3-D FFT.
+  // Forward: work (z-slab) -> tr (x-pencil).  Inverse: tr -> work.
+  auto fft3d = [&](int sign, bool forward) -> sim::Task<void> {
+    if (forward) {
+      // x-direction (contiguous lines).
+      for (int z = 0; z < nzl; ++z) {
+        for (int y = 0; y < cfg.ny; ++y) {
+          fft1d(&at(work, z, y, 0), cfg.nx, sign);
+        }
+      }
+      co_await charge(ctx, nzl * cfg.ny * fft_flops(cfg.nx));
+      // y-direction (strided; gather into a line).
+      for (int z = 0; z < nzl; ++z) {
+        for (int x = 0; x < cfg.nx; ++x) {
+          for (int y = 0; y < cfg.ny; ++y) line[static_cast<std::size_t>(y)] = at(work, z, y, x);
+          fft1d(line.data(), cfg.ny, sign);
+          for (int y = 0; y < cfg.ny; ++y) at(work, z, y, x) = line[static_cast<std::size_t>(y)];
+        }
+      }
+      co_await charge(ctx, nzl * cfg.nx * (fft_flops(cfg.ny) + 4.0 * cfg.ny));
+
+      // Global transpose z-slabs -> x-pencils: block for rank j is
+      // x in [j*nxl, (j+1)*nxl).
+      for (int j = 0; j < p; ++j) {
+        std::size_t o = static_cast<std::size_t>(j) * nzl * cfg.ny * nxl;
+        for (int z = 0; z < nzl; ++z) {
+          for (int y = 0; y < cfg.ny; ++y) {
+            for (int xl = 0; xl < nxl; ++xl) {
+              sendbuf[o++] = at(work, z, y, j * nxl + xl);
+            }
+          }
+        }
+      }
+      co_await charge(ctx, static_cast<double>(local_n) * 2.0);
+      co_await world.alltoall(sendbuf.data(),
+                              static_cast<int>(nzl * cfg.ny * nxl * 2),
+                              recvbuf.data(), mpi::Datatype::kDouble);
+      // Unpack: block from rank j covers z in [j*nzl, (j+1)*nzl).
+      for (int j = 0; j < p; ++j) {
+        std::size_t o = static_cast<std::size_t>(j) * nzl * cfg.ny * nxl;
+        for (int zl = 0; zl < nzl; ++zl) {
+          for (int y = 0; y < cfg.ny; ++y) {
+            for (int xl = 0; xl < nxl; ++xl) {
+              att(tr, xl, y, j * nzl + zl) = recvbuf[o++];
+            }
+          }
+        }
+      }
+      co_await charge(ctx, static_cast<double>(local_n) * 2.0);
+      // z-direction (contiguous in tr).
+      for (int xl = 0; xl < nxl; ++xl) {
+        for (int y = 0; y < cfg.ny; ++y) {
+          fft1d(&att(tr, xl, y, 0), cfg.nz, sign);
+        }
+      }
+      co_await charge(ctx, nxl * cfg.ny * fft_flops(cfg.nz));
+    } else {
+      // Inverse order: z first, transpose back, then y, then x.
+      for (int xl = 0; xl < nxl; ++xl) {
+        for (int y = 0; y < cfg.ny; ++y) {
+          fft1d(&att(tr, xl, y, 0), cfg.nz, sign);
+        }
+      }
+      co_await charge(ctx, nxl * cfg.ny * fft_flops(cfg.nz));
+      for (int j = 0; j < p; ++j) {
+        std::size_t o = static_cast<std::size_t>(j) * nzl * cfg.ny * nxl;
+        for (int zl = 0; zl < nzl; ++zl) {
+          for (int y = 0; y < cfg.ny; ++y) {
+            for (int xl = 0; xl < nxl; ++xl) {
+              sendbuf[o++] = att(tr, xl, y, j * nzl + zl);
+            }
+          }
+        }
+      }
+      co_await charge(ctx, static_cast<double>(local_n) * 2.0);
+      co_await world.alltoall(sendbuf.data(),
+                              static_cast<int>(nzl * cfg.ny * nxl * 2),
+                              recvbuf.data(), mpi::Datatype::kDouble);
+      for (int j = 0; j < p; ++j) {
+        std::size_t o = static_cast<std::size_t>(j) * nzl * cfg.ny * nxl;
+        for (int z = 0; z < nzl; ++z) {
+          for (int y = 0; y < cfg.ny; ++y) {
+            for (int xl = 0; xl < nxl; ++xl) {
+              at(work, z, y, j * nxl + xl) = recvbuf[o++];
+            }
+          }
+        }
+      }
+      co_await charge(ctx, static_cast<double>(local_n) * 2.0);
+      for (int z = 0; z < nzl; ++z) {
+        for (int x = 0; x < cfg.nx; ++x) {
+          for (int y = 0; y < cfg.ny; ++y) line[static_cast<std::size_t>(y)] = at(work, z, y, x);
+          fft1d(line.data(), cfg.ny, sign);
+          for (int y = 0; y < cfg.ny; ++y) at(work, z, y, x) = line[static_cast<std::size_t>(y)];
+        }
+      }
+      co_await charge(ctx, nzl * cfg.nx * (fft_flops(cfg.ny) + 4.0 * cfg.ny));
+      for (int z = 0; z < nzl; ++z) {
+        for (int y = 0; y < cfg.ny; ++y) {
+          fft1d(&at(work, z, y, 0), cfg.nx, sign);
+        }
+      }
+      co_await charge(ctx, nzl * cfg.ny * fft_flops(cfg.nx));
+    }
+  };
+
+  co_await world.barrier();
+  const double t0 = world.wtime();
+
+  bool ok = true;
+  Cplx checksum{};
+  const double n_total =
+      static_cast<double>(cfg.nx) * cfg.ny * cfg.nz;
+  for (int it = 0; it < cfg.iters; ++it) {
+    co_await fft3d(-1, /*forward=*/true);
+    // Checksum of the spectrum (reduced): NAS-style per-iteration output.
+    Cplx local{};
+    for (std::size_t i = 0; i < tr.size(); i += 97) local += tr[i];
+    double re[2] = {local.real(), local.imag()};
+    double sum[2] = {0, 0};
+    co_await world.allreduce(re, sum, 2, mpi::Datatype::kDouble, mpi::Op::kSum);
+    checksum = Cplx(sum[0], sum[1]);
+
+    co_await fft3d(+1, /*forward=*/false);
+    // Normalize and compare with the original field.
+    double err = 0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      work[i] /= n_total;
+      err = std::max(err, std::abs(work[i] - u0[i]));
+    }
+    co_await charge(ctx, static_cast<double>(local_n) * 4.0);
+    double max_err = 0;
+    co_await world.allreduce(&err, &max_err, 1, mpi::Datatype::kDouble,
+                             mpi::Op::kMax);
+    ok = ok && max_err < 1e-9;
+  }
+  const double elapsed = world.wtime() - t0;
+
+  Result r;
+  r.name = "FT";
+  r.cls = cls;
+  r.nprocs = p;
+  r.verified = ok && std::isfinite(checksum.real());
+  r.time_sec = elapsed;
+  const double flops_per_iter =
+      2.0 * n_total *
+      (5.0 * std::log2(n_total));  // fwd+inv 3-D transforms
+  r.mops = flops_per_iter * cfg.iters / elapsed / 1e6;
+  r.detail = "checksum=(" + std::to_string(checksum.real()) + "," +
+             std::to_string(checksum.imag()) + ")";
+  co_return r;
+}
+
+}  // namespace nas

@@ -1,0 +1,253 @@
+// MG -- 3-D multigrid.
+//
+// V-cycles of weighted-Jacobi smoothing / full-weighting restriction /
+// block prolongation on a periodic g^3 Poisson problem, partitioned in
+// z-slabs.  The communication signature matches NAS MG: a pair of
+// xy-plane halo exchanges (sendrecv with the z-neighbours) around every
+// smoothing and residual step at every level, with message sizes shrinking
+// 4x per level -- a mix of large and small nearest-neighbour traffic.
+// Scaled grids: S 32^3/4 cycles, W 64^3/3, A 64^3/5, B 128^3/5 (official A
+// is 256^3).
+#include <cmath>
+#include <vector>
+
+#include "nas/nas.hpp"
+#include "nas/nas_random.hpp"
+
+namespace nas {
+
+namespace {
+
+struct MgConfig {
+  int g;       // fine grid edge
+  int cycles;  // V-cycles
+};
+
+MgConfig mg_config(Class c) {
+  switch (c) {
+    case Class::S:
+      return {32, 4};
+    case Class::W:
+      return {64, 3};
+    case Class::A:
+      return {64, 5};
+    case Class::B:
+      return {128, 5};
+  }
+  return {32, 4};
+}
+
+/// One level's slab: nzl local planes plus one ghost plane on each side.
+struct Level {
+  int g = 0;    // plane edge (g x g)
+  int nzl = 0;  // local planes
+  std::vector<double> u, f, r;
+
+  std::size_t idx(int z, int y, int x) const {  // z in [-1, nzl]
+    return static_cast<std::size_t>(
+        ((z + 1) * g + y) * g + x);
+  }
+  std::size_t plane() const { return static_cast<std::size_t>(g) * g; }
+};
+
+/// Exchanges the ghost planes of `v` with the z-neighbours (periodic).
+sim::Task<void> halo(mpi::Communicator& world, Level& lv,
+                     std::vector<double>& v) {
+  const int p = world.size();
+  const int up = (world.rank() + 1) % p;
+  const int down = (world.rank() - 1 + p) % p;
+  const std::size_t n = lv.plane();
+  // Send my top plane up / receive my bottom ghost from below...
+  co_await world.sendrecv(&v[lv.idx(lv.nzl - 1, 0, 0)], static_cast<int>(n),
+                          mpi::Datatype::kDouble, up, 11,
+                          &v[lv.idx(-1, 0, 0)], static_cast<int>(n),
+                          mpi::Datatype::kDouble, down, 11);
+  // ...and my bottom plane down / top ghost from above.
+  co_await world.sendrecv(&v[lv.idx(0, 0, 0)], static_cast<int>(n),
+                          mpi::Datatype::kDouble, down, 12,
+                          &v[lv.idx(lv.nzl, 0, 0)], static_cast<int>(n),
+                          mpi::Datatype::kDouble, up, 12);
+}
+
+int wrap(int i, int g) { return (i + g) % g; }
+
+/// r = f - A u  (A = 7-point Laplacian, h = 1).
+void residual(Level& lv) {
+  const int g = lv.g;
+  for (int z = 0; z < lv.nzl; ++z) {
+    for (int y = 0; y < g; ++y) {
+      for (int x = 0; x < g; ++x) {
+        const double lap =
+            6.0 * lv.u[lv.idx(z, y, x)] - lv.u[lv.idx(z - 1, y, x)] -
+            lv.u[lv.idx(z + 1, y, x)] - lv.u[lv.idx(z, wrap(y - 1, g), x)] -
+            lv.u[lv.idx(z, wrap(y + 1, g), x)] -
+            lv.u[lv.idx(z, y, wrap(x - 1, g))] -
+            lv.u[lv.idx(z, y, wrap(x + 1, g))];
+        lv.r[lv.idx(z, y, x)] = lv.f[lv.idx(z, y, x)] - lap;
+      }
+    }
+  }
+}
+
+/// Weighted Jacobi sweep: u += w/6 * (f - A u), using r as scratch.
+void smooth(Level& lv, double w) {
+  residual(lv);
+  const double s = w / 6.0;
+  for (int z = 0; z < lv.nzl; ++z) {
+    for (int y = 0; y < lv.g; ++y) {
+      for (int x = 0; x < lv.g; ++x) {
+        lv.u[lv.idx(z, y, x)] += s * lv.r[lv.idx(z, y, x)];
+      }
+    }
+  }
+}
+
+double flops_per_point_smooth() { return 10.0; }
+
+}  // namespace
+
+sim::Task<Result> mg(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
+  const MgConfig cfg = mg_config(cls);
+  const int p = world.size();
+  const int rank = world.rank();
+
+  // Build the level hierarchy: coarsen while every rank keeps >= 2 planes.
+  std::vector<Level> levels;
+  for (int g = cfg.g; g / p >= 2; g /= 2) {
+    Level lv;
+    lv.g = g;
+    lv.nzl = g / p;
+    const std::size_t total = static_cast<std::size_t>(lv.nzl + 2) * lv.plane();
+    lv.u.assign(total, 0.0);
+    lv.f.assign(total, 0.0);
+    lv.r.assign(total, 0.0);
+    levels.push_back(std::move(lv));
+  }
+  const int nlev = static_cast<int>(levels.size());
+
+  // Deterministic +-1 source spikes (NAS MG style) on the fine grid.
+  {
+    Level& fine = levels[0];
+    double seed = 314159265.0;
+    for (int s = 0; s < 20; ++s) {
+      const int x = static_cast<int>(randlc(&seed, kDefaultA) * cfg.g);
+      const int y = static_cast<int>(randlc(&seed, kDefaultA) * cfg.g);
+      const int z = static_cast<int>(randlc(&seed, kDefaultA) * cfg.g);
+      const int zr = z / fine.nzl;  // owning rank
+      if (zr == rank) {
+        fine.f[fine.idx(z - rank * fine.nzl, y, x)] = (s % 2 == 0) ? 1.0 : -1.0;
+      }
+    }
+  }
+
+  auto grid_norm = [&](Level& lv, std::vector<double>& v) -> sim::Task<double> {
+    double local = 0;
+    for (int z = 0; z < lv.nzl; ++z) {
+      for (int y = 0; y < lv.g; ++y) {
+        for (int x = 0; x < lv.g; ++x) {
+          const double a = v[lv.idx(z, y, x)];
+          local += a * a;
+        }
+      }
+    }
+    double total = 0;
+    co_await world.allreduce(&local, &total, 1, mpi::Datatype::kDouble,
+                             mpi::Op::kSum);
+    co_return std::sqrt(total);
+  };
+
+  // Recursive V-cycle expressed iteratively over the level index.
+  std::function<sim::Task<void>(int)> vcycle = [&](int li) -> sim::Task<void> {
+    Level& lv = levels[static_cast<std::size_t>(li)];
+    const double points = static_cast<double>(lv.nzl) * lv.plane();
+    for (int s = 0; s < 2; ++s) {
+      co_await halo(world, lv, lv.u);
+      smooth(lv, 0.8);
+      co_await charge(ctx, points * flops_per_point_smooth());
+    }
+    if (li + 1 < nlev) {
+      co_await halo(world, lv, lv.u);
+      residual(lv);
+      co_await charge(ctx, points * 8.0);
+      // Full-weighting restriction: coarse f = average of the 2x2x2 block.
+      Level& cl = levels[static_cast<std::size_t>(li + 1)];
+      std::fill(cl.u.begin(), cl.u.end(), 0.0);
+      for (int z = 0; z < cl.nzl; ++z) {
+        for (int y = 0; y < cl.g; ++y) {
+          for (int x = 0; x < cl.g; ++x) {
+            double s = 0;
+            for (int dz = 0; dz < 2; ++dz) {
+              for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                  s += lv.r[lv.idx(2 * z + dz, wrap(2 * y + dy, lv.g),
+                                   wrap(2 * x + dx, lv.g))];
+                }
+              }
+            }
+            // Scale by 4 = h^2 ratio so the coarse problem is consistent.
+            cl.f[cl.idx(z, y, x)] = s * 0.5;
+          }
+        }
+      }
+      co_await charge(ctx, points);
+      co_await vcycle(li + 1);
+      // Prolongation: add each coarse correction to its 8 fine children.
+      for (int z = 0; z < cl.nzl; ++z) {
+        for (int y = 0; y < cl.g; ++y) {
+          for (int x = 0; x < cl.g; ++x) {
+            const double c = cl.u[cl.idx(z, y, x)];
+            for (int dz = 0; dz < 2; ++dz) {
+              for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                  lv.u[lv.idx(2 * z + dz, wrap(2 * y + dy, lv.g),
+                              wrap(2 * x + dx, lv.g))] += c;
+                }
+              }
+            }
+          }
+        }
+      }
+      co_await charge(ctx, points);
+    }
+    for (int s = 0; s < 2; ++s) {
+      co_await halo(world, lv, lv.u);
+      smooth(lv, 0.8);
+      co_await charge(ctx, points * flops_per_point_smooth());
+    }
+  };
+
+  co_await world.barrier();
+  const double t0 = world.wtime();
+
+  Level& fine = levels[0];
+  co_await halo(world, fine, fine.u);
+  residual(fine);
+  const double norm0 = co_await grid_norm(fine, fine.r);
+
+  bool monotone = true;
+  double prev = norm0;
+  for (int c = 0; c < cfg.cycles; ++c) {
+    co_await vcycle(0);
+    co_await halo(world, fine, fine.u);
+    residual(fine);
+    const double norm = co_await grid_norm(fine, fine.r);
+    monotone = monotone && norm < prev;
+    prev = norm;
+  }
+  const double elapsed = world.wtime() - t0;
+
+  const bool ok = monotone && prev < 0.1 * norm0 && std::isfinite(prev);
+  const double points = static_cast<double>(cfg.g) * cfg.g * cfg.g;
+
+  Result r;
+  r.name = "MG";
+  r.cls = cls;
+  r.nprocs = p;
+  r.verified = ok;
+  r.time_sec = elapsed;
+  r.mops = points * 60.0 * cfg.cycles / elapsed / 1e6;
+  r.detail = "r/r0=" + std::to_string(prev / norm0);
+  co_return r;
+}
+
+}  // namespace nas

@@ -1,0 +1,36 @@
+#include "nas/nas.hpp"
+
+#include <stdexcept>
+
+namespace nas {
+
+const char* to_string(Class c) {
+  switch (c) {
+    case Class::S:
+      return "S";
+    case Class::W:
+      return "W";
+    case Class::A:
+      return "A";
+    case Class::B:
+      return "B";
+  }
+  return "?";
+}
+
+const std::vector<std::pair<std::string, KernelFn>>& suite() {
+  static const std::vector<std::pair<std::string, KernelFn>> kSuite = {
+      {"ep", ep}, {"is", is}, {"cg", cg}, {"mg", mg},
+      {"ft", ft}, {"lu", lu}, {"sp", sp}, {"bt", bt},
+  };
+  return kSuite;
+}
+
+KernelFn kernel(const std::string& name) {
+  for (const auto& [n, fn] : suite()) {
+    if (n == name) return fn;
+  }
+  throw std::invalid_argument("unknown NAS kernel: " + name);
+}
+
+}  // namespace nas

@@ -1,0 +1,44 @@
+#include "nas/nas_random.hpp"
+
+namespace nas {
+
+double randlc(double* x, double a) {
+  // Break a and x into two 23-bit halves and do 46-bit modular arithmetic
+  // exactly in doubles (the classic NPB implementation).
+  const double t1a = kR23 * a;
+  const double a1 = static_cast<double>(static_cast<std::int64_t>(t1a));
+  const double a2 = a - kT23 * a1;
+
+  const double t1x = kR23 * (*x);
+  const double x1 = static_cast<double>(static_cast<std::int64_t>(t1x));
+  const double x2 = *x - kT23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<std::int64_t>(kR23 * t1));
+  const double z = t1 - kT23 * t2;
+  const double t3 = kT23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<std::int64_t>(kR46 * t3));
+  *x = t3 - kT46 * t4;
+  return kR46 * (*x);
+}
+
+void vranlc(int n, double* x, double a, double* y) {
+  for (int i = 0; i < n; ++i) y[i] = randlc(x, a);
+}
+
+double advance_seed(double s, double a, std::int64_t exp) {
+  // Square-and-multiply on the multiplier.
+  double b = s;
+  double t = a;
+  while (exp > 0) {
+    if (exp & 1) (void)randlc(&b, t);
+    double tt = t;
+    (void)randlc(&tt, t);
+    // randlc(&tt, t) computes tt = t*t mod 2^46 when tt starts at t.
+    t = tt;
+    exp >>= 1;
+  }
+  return b;
+}
+
+}  // namespace nas

@@ -1,0 +1,27 @@
+// The NAS pseudo-random number generator: the 48-bit linear congruential
+// scheme  x_{k+1} = a * x_k mod 2^46  used by every NPB kernel, with the
+// log-time seed-advance that lets each rank jump straight to its slice of
+// the stream.
+#pragma once
+
+#include <cstdint>
+
+namespace nas {
+
+inline constexpr double kR23 = 1.0 / 8388608.0;            // 2^-23
+inline constexpr double kT23 = 8388608.0;                  // 2^23
+inline constexpr double kR46 = kR23 * kR23;                // 2^-46
+inline constexpr double kT46 = kT23 * kT23;                // 2^46
+inline constexpr double kDefaultA = 1220703125.0;          // 5^13
+
+/// One step: returns a uniform deviate in (0,1) and advances *x.
+double randlc(double* x, double a);
+
+/// Fills y[0..n) with deviates, advancing *x.
+void vranlc(int n, double* x, double a, double* y);
+
+/// Computes a^exp mod 2^46 seed-advance: returns the seed after `exp`
+/// applications of randlc with multiplier a, starting from s.
+double advance_seed(double s, double a, std::int64_t exp);
+
+}  // namespace nas

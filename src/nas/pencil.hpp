@@ -1,0 +1,125 @@
+// Shared pencil-transpose helper for the ADI solvers (SP, BT) and tri- /
+// block-tridiagonal line solvers.
+//
+// Fields live in z-slab layout  in[z_local][y][x][K]  (K components, K
+// fastest).  The z sweep needs whole z lines, so the field is globally
+// transposed to x-slab layout  out[x_local][y][z][K]  with one alltoall --
+// the same redistribution NAS SP/BT perform between directional sweeps.
+#pragma once
+
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "sim/task.hpp"
+
+namespace nas {
+
+struct PencilBufs {
+  std::vector<double> send, recv;
+  void ensure(std::size_t n) {
+    if (send.size() < n) send.resize(n);
+    if (recv.size() < n) recv.resize(n);
+  }
+};
+
+/// z-slabs -> x-slabs when `forward`, the inverse otherwise.
+inline sim::Task<void> transpose_zx(mpi::Communicator& world, int nx, int ny,
+                                    int nz, int K, const double* in,
+                                    double* out, bool forward,
+                                    PencilBufs& bufs) {
+  const int p = world.size();
+  const int nzl = nz / p;
+  const int nxl = nx / p;
+  const std::size_t total =
+      static_cast<std::size_t>(nzl) * ny * nx * static_cast<std::size_t>(K);
+  const std::size_t block = total / static_cast<std::size_t>(p);
+  bufs.ensure(total);
+
+  auto zidx = [&](int z, int y, int x) {
+    return ((static_cast<std::size_t>(z) * ny + y) * nx + x) *
+           static_cast<std::size_t>(K);
+  };
+  auto xidx = [&](int xl, int y, int z) {
+    return ((static_cast<std::size_t>(xl) * ny + y) * nz + z) *
+           static_cast<std::size_t>(K);
+  };
+
+  if (forward) {
+    std::size_t o = 0;
+    for (int j = 0; j < p; ++j) {
+      for (int z = 0; z < nzl; ++z) {
+        for (int y = 0; y < ny; ++y) {
+          for (int xl = 0; xl < nxl; ++xl) {
+            const double* src = in + zidx(z, y, j * nxl + xl);
+            for (int k = 0; k < K; ++k) bufs.send[o++] = src[k];
+          }
+        }
+      }
+    }
+    co_await world.alltoall(bufs.send.data(), static_cast<int>(block),
+                            bufs.recv.data(), mpi::Datatype::kDouble);
+    o = 0;
+    for (int j = 0; j < p; ++j) {
+      for (int zl = 0; zl < nzl; ++zl) {
+        for (int y = 0; y < ny; ++y) {
+          for (int xl = 0; xl < nxl; ++xl) {
+            double* dst = out + xidx(xl, y, j * nzl + zl);
+            for (int k = 0; k < K; ++k) dst[k] = bufs.recv[o++];
+          }
+        }
+      }
+    }
+  } else {
+    std::size_t o = 0;
+    for (int j = 0; j < p; ++j) {
+      for (int zl = 0; zl < nzl; ++zl) {
+        for (int y = 0; y < ny; ++y) {
+          for (int xl = 0; xl < nxl; ++xl) {
+            const double* src = in + xidx(xl, y, j * nzl + zl);
+            for (int k = 0; k < K; ++k) bufs.send[o++] = src[k];
+          }
+        }
+      }
+    }
+    co_await world.alltoall(bufs.send.data(), static_cast<int>(block),
+                            bufs.recv.data(), mpi::Datatype::kDouble);
+    o = 0;
+    for (int j = 0; j < p; ++j) {
+      for (int z = 0; z < nzl; ++z) {
+        for (int y = 0; y < ny; ++y) {
+          for (int xl = 0; xl < nxl; ++xl) {
+            double* dst = out + zidx(z, y, j * nxl + xl);
+            for (int k = 0; k < K; ++k) dst[k] = bufs.recv[o++];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Thomas algorithm for the constant-coefficient tridiagonal system
+/// (1 + 2a) x_i - a x_{i-1} - a x_{i+1} = d_i  (Dirichlet ends), solved in
+/// place over a strided vector d[0..n) with stride `stride` doubles.
+inline void thomas_scalar(double a, int n, double* d, int stride) {
+  thread_local std::vector<double> c;
+  if (static_cast<int>(c.size()) < n) c.resize(static_cast<std::size_t>(n));
+  const double b = 1.0 + 2.0 * a;
+  c[0] = -a / b;
+  d[0] /= b;
+  for (int i = 1; i < n; ++i) {
+    const double m = 1.0 / (b + a * c[static_cast<std::size_t>(i - 1)]);
+    c[static_cast<std::size_t>(i)] = -a * m;
+    d[static_cast<std::size_t>(i) * static_cast<std::size_t>(stride)] =
+        (d[static_cast<std::size_t>(i) * static_cast<std::size_t>(stride)] +
+         a * d[static_cast<std::size_t>(i - 1) *
+               static_cast<std::size_t>(stride)]) *
+        m;
+  }
+  for (int i = n - 2; i >= 0; --i) {
+    d[static_cast<std::size_t>(i) * static_cast<std::size_t>(stride)] -=
+        c[static_cast<std::size_t>(i)] *
+        d[static_cast<std::size_t>(i + 1) * static_cast<std::size_t>(stride)];
+  }
+}
+
+}  // namespace nas

@@ -1,0 +1,29 @@
+#include "pmi/pmi.hpp"
+
+namespace pmi {
+
+Job::Job(ib::Fabric& fabric, int n, int ranks_per_node)
+    : fabric_(&fabric), n_(n), kvs_(fabric.sim()), barrier_(fabric.sim(), n) {
+  const int nodes = (n + ranks_per_node - 1) / ranks_per_node;
+  while (fabric_->node_count() < static_cast<std::size_t>(nodes)) {
+    fabric_->add_node();
+  }
+  contexts_.reserve(static_cast<std::size_t>(n_));
+  for (int r = 0; r < n_; ++r) {
+    contexts_.push_back(
+        Context{r, n_,
+                &fabric_->node(static_cast<std::size_t>(r / ranks_per_node)),
+                &kvs_, &barrier_});
+  }
+}
+
+void Job::launch(RankMain main) {
+  mains_.push_back(std::move(main));
+  const RankMain& m = mains_.back();
+  for (int r = 0; r < n_; ++r) {
+    fabric_->sim().spawn(m(contexts_[static_cast<std::size_t>(r)]),
+                         "rank" + std::to_string(r));
+  }
+}
+
+}  // namespace pmi

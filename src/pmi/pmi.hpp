@@ -1,0 +1,126 @@
+// Simulated process-management interface.
+//
+// Real MPICH2 jobs bootstrap through a process manager (mpd) and its PMI
+// key-value space: every rank publishes its QP numbers / buffer addresses /
+// rkeys, synchronizes, and reads its peers' entries.  This module provides
+// the same three primitives -- put, barrier-then-get, and a launcher that
+// starts one process per node -- against the simulated cluster.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ib/fabric.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace pmi {
+
+/// Job-wide key-value space.  get() blocks until the key has been
+/// published, so `put(...); co_await get(peer_key)` is a safe exchange
+/// without an explicit barrier.
+class Kvs {
+ public:
+  explicit Kvs(sim::Simulator& sim) : published_(sim) {}
+
+  void put(const std::string& key, std::string value) {
+    entries_[key] = std::move(value);
+    published_.fire();
+  }
+
+  /// Convenience for numeric values (addresses, rkeys, QP numbers).
+  void put_u64(const std::string& key, std::uint64_t v) {
+    put(key, std::to_string(v));
+  }
+
+  sim::Task<std::string> get(std::string key) {
+    co_await sim::wait_until(published_,
+                             [this, &key] { return entries_.count(key) > 0; });
+    co_return entries_.at(key);
+  }
+
+  sim::Task<std::uint64_t> get_u64(std::string key) {
+    std::string v = co_await get(std::move(key));
+    co_return std::stoull(v);
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::map<std::string, std::string> entries_;
+  sim::Trigger published_;
+};
+
+/// Job-wide barrier (PMI_Barrier): generation-counted so it is reusable.
+class Barrier {
+ public:
+  Barrier(sim::Simulator& sim, int participants)
+      : released_(sim), participants_(participants) {}
+
+  sim::Task<void> arrive() {
+    const std::uint64_t my_gen = generation_;
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      ++generation_;
+      released_.fire();
+      co_return;
+    }
+    co_await sim::wait_until(released_,
+                             [this, my_gen] { return generation_ > my_gen; });
+  }
+
+ private:
+  sim::Trigger released_;
+  int participants_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Per-rank execution context handed to every rank program.
+struct Context {
+  int rank = 0;
+  int size = 0;
+  ib::Node* node = nullptr;
+  Kvs* kvs = nullptr;
+  Barrier* barrier = nullptr;
+
+  sim::Simulator& sim() const { return node->fabric().sim(); }
+  ib::Fabric& fabric() const { return node->fabric(); }
+};
+
+/// Launches an `n`-rank job on the fabric: adds one node per rank (if the
+/// fabric does not already have enough), builds the contexts, and spawns
+/// `main` once per rank.  Call sim.run() afterwards.
+class Job {
+ public:
+  using RankMain = std::function<sim::Task<void>(Context&)>;
+
+  /// `ranks_per_node` > 1 co-locates consecutive ranks on one node (SMP
+  /// cluster), which the multi-method channel exploits: shared memory
+  /// within a node, InfiniBand across nodes.
+  explicit Job(ib::Fabric& fabric, int n, int ranks_per_node = 1);
+
+  /// Spawns `main(ctx)` for every rank.  The callable is kept alive for the
+  /// job's lifetime: if it is a coroutine lambda, its closure must outlive
+  /// the spawned coroutines.
+  void launch(RankMain main);
+
+  Context& context(int rank) { return contexts_.at(static_cast<std::size_t>(rank)); }
+  Kvs& kvs() noexcept { return kvs_; }
+  int size() const noexcept { return n_; }
+
+ private:
+  ib::Fabric* fabric_;
+  int n_;
+  Kvs kvs_;
+  Barrier barrier_;
+  std::vector<Context> contexts_;
+  // Keeps coroutine-lambda closures alive; deque: stable addresses across
+  // repeated launches.
+  std::deque<RankMain> mains_;
+};
+
+}  // namespace pmi

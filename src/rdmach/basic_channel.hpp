@@ -1,0 +1,34 @@
+// The basic design, paper section 4.2: a byte-granular emulation of the
+// shared-memory ring of Figure 3 using RDMA writes.
+//
+// A matching put/get pair costs three RDMA writes: one for the data, one to
+// update the remote head-pointer replica, and one to update the remote
+// tail-pointer replica.  The sender conservatively waits for the data
+// write's completion before publishing the new head (interpretation
+// decision recorded in DESIGN.md: it explains the paper's 18.6 us basic
+// latency, ~2x the single-write piggyback design plus overheads), and
+// copies the *entire* accepted region before posting any RDMA write --
+// the copy/transfer serialization the pipelining optimization later removes.
+#pragma once
+
+#include "rdmach/verbs_base.hpp"
+
+namespace rdmach {
+
+class BasicChannel : public VerbsChannelBase {
+ public:
+  BasicChannel(pmi::Context& ctx, const ChannelConfig& cfg)
+      : VerbsChannelBase(ctx, cfg) {}
+
+  sim::Task<std::size_t> put(Connection& conn,
+                             std::span<const ConstIov> iovs) override;
+  sim::Task<std::size_t> get(Connection& conn,
+                             std::span<const Iov> iovs) override;
+
+ protected:
+  std::unique_ptr<VerbsConnection> make_connection() override {
+    return std::make_unique<VerbsConnection>();
+  }
+};
+
+}  // namespace rdmach

@@ -1,0 +1,57 @@
+#include "rdmach/channel.hpp"
+
+#include <stdexcept>
+
+#include "rdmach/basic_channel.hpp"
+#include "rdmach/multi_method_channel.hpp"
+#include "rdmach/piggyback_channel.hpp"
+#include "rdmach/shm_channel.hpp"
+#include "rdmach/zerocopy_channel.hpp"
+
+namespace rdmach {
+
+const char* to_string(Design d) {
+  switch (d) {
+    case Design::kShm:
+      return "shm";
+    case Design::kBasic:
+      return "basic";
+    case Design::kPiggyback:
+      return "piggyback";
+    case Design::kPipeline:
+      return "pipeline";
+    case Design::kZeroCopy:
+      return "zero-copy";
+    case Design::kMultiMethod:
+      return "multi-method";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Channel> Channel::create(pmi::Context& ctx,
+                                         const ChannelConfig& cfg) {
+  if (cfg.chunk_bytes <= kSlotOverhead ||
+      cfg.ring_bytes % cfg.chunk_bytes != 0 ||
+      cfg.ring_bytes / cfg.chunk_bytes < 2) {
+    throw std::invalid_argument(
+        "channel config: ring must hold >= 2 chunks and chunks must exceed "
+        "the slot overhead");
+  }
+  switch (cfg.design) {
+    case Design::kShm:
+      return std::make_unique<ShmChannel>(ctx, cfg);
+    case Design::kBasic:
+      return std::make_unique<BasicChannel>(ctx, cfg);
+    case Design::kPiggyback:
+      return std::make_unique<PiggybackChannel>(ctx, cfg);
+    case Design::kPipeline:
+      return std::make_unique<PipelineChannel>(ctx, cfg);
+    case Design::kZeroCopy:
+      return std::make_unique<ZeroCopyChannel>(ctx, cfg);
+    case Design::kMultiMethod:
+      return std::make_unique<MultiMethodChannel>(ctx, cfg);
+  }
+  throw std::invalid_argument("unknown channel design");
+}
+
+}  // namespace rdmach

@@ -1,0 +1,171 @@
+// The MPICH2 RDMA Channel interface (paper section 3.2).
+//
+// The interface contains five functions, "among which only two are central
+// to communication": put (write) and get (read).  Both accept a connection
+// and a list of buffers, return the number of bytes completed, and are
+// nonblocking -- if fewer bytes complete than requested, the caller retries
+// later.  Logically each connection direction is a FIFO pipe: put appends
+// to it, get consumes from it.
+//
+// Five implementations are provided, mirroring the paper's progression:
+//   * ShmChannel       -- Figure 3: ring buffer in literally shared memory
+//                         (the scheme the RDMA designs emulate); also the
+//                         semantic reference for differential tests.
+//   * BasicChannel     -- section 4.2: RDMA-write emulation of the shared
+//                         ring; three RDMA writes per message (data, head
+//                         pointer, tail pointer).
+//   * PiggybackChannel -- section 4.3: head updates piggybacked on the data
+//                         (size header + two polling flags per chunk), tail
+//                         updates delayed/batched/piggybacked.
+//   * PipelineChannel  -- section 4.4: large messages copied and written
+//                         chunk-by-chunk so copies overlap RDMA.
+//   * ZeroCopyChannel  -- section 5: large messages bypass the ring via a
+//                         control packet + RDMA read into the user buffer,
+//                         with a registration cache.
+//
+// In our simulated-process model put/get are coroutines because they spend
+// *virtual CPU time* (modelled memcpy); they still never wait for remote
+// progress, preserving the paper's nonblocking contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "pmi/pmi.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace rdmach {
+
+struct Iov {
+  std::byte* base = nullptr;
+  std::size_t len = 0;
+};
+
+struct ConstIov {
+  const std::byte* base = nullptr;
+  std::size_t len = 0;
+
+  ConstIov() = default;
+  ConstIov(const std::byte* b, std::size_t n) : base(b), len(n) {}
+  ConstIov(const Iov& iov) : base(iov.base), len(iov.len) {}  // NOLINT
+  ConstIov(const void* b, std::size_t n)
+      : base(static_cast<const std::byte*>(b)), len(n) {}
+};
+
+inline std::size_t total_length(std::span<const ConstIov> iovs) {
+  std::size_t n = 0;
+  for (const auto& v : iovs) n += v.len;
+  return n;
+}
+
+inline std::size_t total_length(std::span<const Iov> iovs) {
+  std::size_t n = 0;
+  for (const auto& v : iovs) n += v.len;
+  return n;
+}
+
+enum class Design {
+  kShm,
+  kBasic,
+  kPiggyback,
+  kPipeline,
+  kZeroCopy,
+  /// Figure 1's multi-method box: shared memory within a node, the
+  /// zero-copy RDMA design across nodes (requires a pmi::Job built with
+  /// ranks_per_node > 1 to have any intra-node pairs).
+  kMultiMethod,
+};
+
+const char* to_string(Design d);
+
+struct ChannelConfig {
+  Design design = Design::kZeroCopy;
+  /// Shared ring buffer per connection direction (also the staging size).
+  std::size_t ring_bytes = 128 * 1024;
+  /// Fixed chunk size the ring is divided into (Figure 9; paper picks 16K).
+  std::size_t chunk_bytes = 16 * 1024;
+  /// Buffers of at least this size use the zero-copy path (ZeroCopy only).
+  /// Below it, the per-message RDMA-read round trip would cost more than
+  /// the pipelined copies save.
+  std::size_t zero_copy_threshold = 32 * 1024;
+  /// Send an explicit tail update after this many consumed slots with no
+  /// reverse traffic to piggyback on.  0 = half the slot count.
+  std::size_t tail_update_slots = 0;
+  /// CPU cost charged per put/get invocation (channel bookkeeping).
+  sim::Tick per_call_overhead = sim::usec(0.05);
+  /// Registration cache (section 5) for zero-copy user buffers.
+  bool use_reg_cache = true;
+  std::size_t reg_cache_capacity = 64u << 20;
+};
+
+/// Per-peer endpoint handle.  Concrete channels subclass this with their
+/// protocol state; users treat it as opaque.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  int peer = -1;
+};
+
+class Channel {
+ public:
+  /// Builds an uninitialized channel of the configured design for this
+  /// rank; call init() from the rank's process before first use.
+  static std::unique_ptr<Channel> create(pmi::Context& ctx,
+                                         const ChannelConfig& cfg);
+
+  virtual ~Channel() = default;
+
+  // ---- the five functions -------------------------------------------------
+  /// (1) init: allocate/register rings, exchange keys via PMI, connect QPs.
+  virtual sim::Task<void> init() = 0;
+  /// (2) finalize: quiesce and release registered memory.
+  virtual sim::Task<void> finalize() = 0;
+  /// (3) process management: the connection to a peer rank.
+  virtual Connection& connection(int peer) = 0;
+  /// (4) put: append to the pipe; returns bytes accepted (possibly 0).
+  virtual sim::Task<std::size_t> put(Connection& conn,
+                                     std::span<const ConstIov> iovs) = 0;
+  /// (5) get: consume from the pipe into `iovs`; returns bytes delivered
+  /// (possibly 0).  May make internal protocol progress even when
+  /// returning 0.
+  virtual sim::Task<std::size_t> get(Connection& conn,
+                                     std::span<const Iov> iovs) = 0;
+
+  // ---- conveniences -------------------------------------------------------
+  // Coroutines (not plain forwarders) so the iov lives in the frame for the
+  // whole lazy-task lifetime.
+  sim::Task<std::size_t> put(Connection& conn, const void* buf,
+                             std::size_t len) {
+    const ConstIov iov{buf, len};
+    co_return co_await put(conn, std::span<const ConstIov>(&iov, 1));
+  }
+  sim::Task<std::size_t> get(Connection& conn, void* buf, std::size_t len) {
+    const Iov iov{static_cast<std::byte*>(buf), len};
+    co_return co_await get(conn, std::span<const Iov>(&iov, 1));
+  }
+
+  /// Blocks until this rank may have new work (incoming DMA, completion,
+  /// ...).  Progress loops call this between polls; pair with
+  /// activity_count() to close the check-then-sleep race.
+  virtual sim::Task<void> wait_for_activity() = 0;
+  /// Monotone counter that advances whenever wait_for_activity() would
+  /// have been woken.
+  virtual std::uint64_t activity_count() const = 0;
+
+  int rank() const noexcept { return ctx_->rank; }
+  int size() const noexcept { return ctx_->size; }
+  pmi::Context& ctx() const noexcept { return *ctx_; }
+  const ChannelConfig& config() const noexcept { return cfg_; }
+
+ protected:
+  Channel(pmi::Context& ctx, const ChannelConfig& cfg)
+      : ctx_(&ctx), cfg_(cfg) {}
+
+  pmi::Context* ctx_;
+  ChannelConfig cfg_;
+};
+
+}  // namespace rdmach

@@ -1,0 +1,76 @@
+#include "rdmach/reg_cache.hpp"
+
+namespace rdmach {
+
+sim::Task<ib::MemoryRegion*> RegCache::acquire(const void* addr,
+                                               std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(addr);
+  if (enabled_) {
+    // Find the cached region starting at or before p that covers [p, p+len).
+    auto it = entries_.upper_bound(p);
+    if (it != entries_.begin()) {
+      --it;
+      if (it->second.mr->contains(p, len)) {
+        ++hits_;
+        ++it->second.pins;
+        it->second.last_use = ++clock_;
+        co_return it->second.mr;
+      }
+    }
+  }
+  ++misses_;
+  ib::MemoryRegion* mr = co_await pd_->register_memory(
+      const_cast<void*>(addr), len, ib::kAllAccess);
+  if (!enabled_) co_return mr;
+  entries_[mr->addr()] = Entry{mr, 1, ++clock_};
+  bytes_ += len;
+  co_await evict_to_capacity();
+  co_return mr;
+}
+
+sim::Task<void> RegCache::release(ib::MemoryRegion* mr) {
+  if (!enabled_) {
+    co_await pd_->deregister(mr);
+    co_return;
+  }
+  auto it = entries_.find(mr->addr());
+  if (it != entries_.end() && it->second.mr == mr && it->second.pins > 0) {
+    --it->second.pins;
+    it->second.last_use = ++clock_;
+  }
+  co_await evict_to_capacity();
+}
+
+sim::Task<void> RegCache::evict_to_capacity() {
+  while (bytes_ > capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins == 0 &&
+          (victim == entries_.end() ||
+           it->second.last_use < victim->second.last_use)) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) co_return;  // everything pinned
+    ib::MemoryRegion* mr = victim->second.mr;
+    bytes_ -= mr->length();
+    entries_.erase(victim);
+    ++evictions_;
+    co_await pd_->deregister(mr);
+  }
+}
+
+sim::Task<void> RegCache::flush() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.pins == 0) {
+      ib::MemoryRegion* mr = it->second.mr;
+      bytes_ -= mr->length();
+      it = entries_.erase(it);
+      co_await pd_->deregister(mr);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rdmach

@@ -1,0 +1,55 @@
+// Globally-shared-memory reference implementation of put/get (Figure 3).
+//
+// "A shared buffer (organized logically as a ring) is placed in shared
+// memory, together with a head pointer and a tail pointer.  The put
+// operation copies the user buffer to the shared buffer and adjusts the
+// head pointer.  The get operation involves reading from the shared buffer
+// and adjusting the tail pointer.  In the case of buffer overflow or
+// underflow, the operations return immediately and the caller will retry."
+//
+// This is the scheme the RDMA designs emulate over the wire.  Because the
+// simulated ranks share one address space, it is implemented literally; it
+// serves as the semantic reference in differential tests (every RDMA
+// design must deliver byte-identical streams) and as the intra-node
+// baseline.  Its timing charges copies only, no NIC path -- do not use it
+// for cross-node performance claims.
+#pragma once
+
+#include "rdmach/channel.hpp"
+#include "sim/sync.hpp"
+
+namespace rdmach {
+
+class ShmChannel : public Channel {
+ public:
+  ShmChannel(pmi::Context& ctx, const ChannelConfig& cfg)
+      : Channel(ctx, cfg), activity_(ctx.sim()) {}
+
+  sim::Task<void> init() override;
+  sim::Task<void> finalize() override;
+  Connection& connection(int peer) override;
+  sim::Task<std::size_t> put(Connection& conn,
+                             std::span<const ConstIov> iovs) override;
+  sim::Task<std::size_t> get(Connection& conn,
+                             std::span<const Iov> iovs) override;
+  sim::Task<void> wait_for_activity() override;
+  std::uint64_t activity_count() const override;
+
+ private:
+  struct Ring {
+    std::vector<std::byte> buf;
+    std::uint64_t head = 0;  // bytes produced
+    std::uint64_t tail = 0;  // bytes consumed
+  };
+
+  struct ShmConnection : Connection {
+    std::unique_ptr<Ring> in;        // owned here; peer writes into it
+    Ring* out = nullptr;             // peer's inbound ring
+    ShmChannel* peer_chan = nullptr; // for wakeups
+  };
+
+  std::vector<std::unique_ptr<ShmConnection>> conns_;
+  sim::Trigger activity_;
+};
+
+}  // namespace rdmach

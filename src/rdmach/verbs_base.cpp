@@ -1,0 +1,217 @@
+#include "rdmach/verbs_base.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace rdmach {
+
+namespace {
+
+std::string key(int from, int to, const char* what) {
+  return "ch:" + std::to_string(from) + ":" + std::to_string(to) + ":" + what;
+}
+
+}  // namespace
+
+sim::Task<void> VerbsChannelBase::init() {
+  pmi::Kvs& kvs = *ctx_->kvs;
+  pd_ = &node().hca().alloc_pd();
+  cq_ = &node().hca().create_cq("rank" + std::to_string(rank()) + ".cq");
+
+  conns_.clear();
+  conns_.resize(static_cast<std::size_t>(size()));
+  for (int p = 0; p < size(); ++p) {
+    if (p == rank()) continue;
+    auto conn = make_connection();
+    conn->peer = p;
+    conn->recv_ring.assign(cfg_.ring_bytes, std::byte{0});
+    conn->staging.assign(cfg_.ring_bytes, std::byte{0});
+    conn->ring_mr = co_await pd_->register_memory(
+        conn->recv_ring.data(), conn->recv_ring.size(), ib::kAllAccess);
+    conn->staging_mr = co_await pd_->register_memory(
+        conn->staging.data(), conn->staging.size(), ib::kAllAccess);
+    conn->ctrl_mr = co_await pd_->register_memory(&conn->ctrl,
+                                                  sizeof(CtrlBlock),
+                                                  ib::kAllAccess);
+    conn->qp = &node().hca().create_qp(*pd_, *cq_, *cq_);
+    kvs.put_u64(key(rank(), p, "qpn"), conn->qp->qp_num());
+    kvs.put_u64(key(rank(), p, "ring_addr"),
+                reinterpret_cast<std::uint64_t>(conn->recv_ring.data()));
+    kvs.put_u64(key(rank(), p, "ring_rkey"), conn->ring_mr->rkey());
+    kvs.put_u64(key(rank(), p, "ctrl_addr"),
+                reinterpret_cast<std::uint64_t>(&conn->ctrl));
+    kvs.put_u64(key(rank(), p, "ctrl_rkey"), conn->ctrl_mr->rkey());
+    conns_[static_cast<std::size_t>(p)] = std::move(conn);
+  }
+
+  // Fetch peer endpoints; the lower rank of each pair connects the QPs.
+  for (int p = 0; p < size(); ++p) {
+    if (p == rank()) continue;
+    VerbsConnection& c = *conns_[static_cast<std::size_t>(p)];
+    c.r_ring_addr = co_await kvs.get_u64(key(p, rank(), "ring_addr"));
+    c.r_ring_rkey = static_cast<std::uint32_t>(
+        co_await kvs.get_u64(key(p, rank(), "ring_rkey")));
+    c.r_ctrl_addr = co_await kvs.get_u64(key(p, rank(), "ctrl_addr"));
+    c.r_ctrl_rkey = static_cast<std::uint32_t>(
+        co_await kvs.get_u64(key(p, rank(), "ctrl_rkey")));
+    if (rank() < p) {
+      const auto peer_qpn = static_cast<std::uint32_t>(
+          co_await kvs.get_u64(key(p, rank(), "qpn")));
+      ib::QueuePair* peer_qp = ctx_->fabric().find_qp(peer_qpn);
+      if (peer_qp == nullptr) {
+        throw std::runtime_error("bootstrap: peer QP not found");
+      }
+      c.qp->connect(*peer_qp);
+    }
+  }
+  co_await ctx_->barrier->arrive();
+}
+
+sim::Task<void> VerbsChannelBase::finalize() {
+  // Quiesce: every rank stops producing before buffers are released.
+  co_await ctx_->barrier->arrive();
+  for (auto& c : conns_) {
+    if (!c) continue;
+    co_await pd_->deregister(c->ring_mr);
+    co_await pd_->deregister(c->staging_mr);
+    co_await pd_->deregister(c->ctrl_mr);
+  }
+  co_await ctx_->barrier->arrive();
+}
+
+Connection& VerbsChannelBase::connection(int peer) {
+  auto& c = conns_.at(static_cast<std::size_t>(peer));
+  if (!c) throw std::logic_error("no connection to self");
+  return *c;
+}
+
+sim::Task<void> VerbsChannelBase::wait_for_activity() {
+  co_await node().dma_arrival().wait();
+}
+
+std::uint64_t VerbsChannelBase::activity_count() const {
+  return node().dma_arrival().fire_count();
+}
+
+void VerbsChannelBase::post_ring_write(VerbsConnection& c,
+                                       std::size_t staging_off,
+                                       std::size_t len, std::size_t ring_off,
+                                       bool signaled, std::uint64_t wr_id) {
+  c.qp->post_send(ib::SendWr{
+      wr_id,
+      ib::Opcode::kRdmaWrite,
+      {ib::Sge{c.staging.data() + staging_off, len, c.staging_mr->lkey()}},
+      c.r_ring_addr + ring_off,
+      c.r_ring_rkey,
+      signaled});
+}
+
+void VerbsChannelBase::post_head_update(VerbsConnection& c) {
+  c.qp->post_send(ib::SendWr{
+      next_wr_id(),
+      ib::Opcode::kRdmaWrite,
+      {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlHeadMasterOff, 8,
+               c.ctrl_mr->lkey()}},
+      c.r_ctrl_addr + kCtrlHeadReplicaOff,
+      c.r_ctrl_rkey,
+      /*signaled=*/false});
+}
+
+void VerbsChannelBase::post_tail_update(VerbsConnection& c) {
+  c.qp->post_send(ib::SendWr{
+      next_wr_id(),
+      ib::Opcode::kRdmaWrite,
+      {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlTailMasterOff, 8,
+               c.ctrl_mr->lkey()}},
+      c.r_ctrl_addr + kCtrlTailReplicaOff,
+      c.r_ctrl_rkey,
+      /*signaled=*/false});
+}
+
+void VerbsChannelBase::drain_cq() {
+  while (auto wc = cq_->poll()) {
+    completed_[wc->wr_id] = *wc;
+  }
+}
+
+bool VerbsChannelBase::take_completion(std::uint64_t wr_id, ib::Wc* out) {
+  drain_cq();
+  auto it = completed_.find(wr_id);
+  if (it == completed_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  completed_.erase(it);
+  return true;
+}
+
+sim::Task<ib::Wc> VerbsChannelBase::await_completion(std::uint64_t wr_id) {
+  ib::Wc wc;
+  for (;;) {
+    if (take_completion(wr_id, &wc)) {
+      if (wc.status != ib::WcStatus::kSuccess) {
+        throw std::logic_error(std::string("channel-internal WR failed: ") +
+                               ib::to_string(wc.status));
+      }
+      co_return wc;
+    }
+    co_await cq_->wait_nonempty();
+  }
+}
+
+sim::Task<void> VerbsChannelBase::copy_in(VerbsConnection& c,
+                                          std::uint64_t ring_pos,
+                                          std::span<const ConstIov> iovs,
+                                          std::size_t iov_off, std::size_t n,
+                                          std::size_t ws) {
+  const std::size_t R = cfg_.ring_bytes;
+  std::size_t iv = 0;
+  std::size_t skipped = 0;
+  // Locate the iov containing iov_off.
+  while (iv < iovs.size() && skipped + iovs[iv].len <= iov_off) {
+    skipped += iovs[iv].len;
+    ++iv;
+  }
+  std::size_t in_iov = iov_off - skipped;
+  while (n > 0 && iv < iovs.size()) {
+    const std::size_t off = static_cast<std::size_t>(ring_pos % R);
+    std::size_t piece = std::min({n, iovs[iv].len - in_iov, R - off});
+    co_await node().copy(c.staging.data() + off, iovs[iv].base + in_iov,
+                         piece, ws);
+    ring_pos += piece;
+    in_iov += piece;
+    n -= piece;
+    if (in_iov == iovs[iv].len) {
+      ++iv;
+      in_iov = 0;
+    }
+  }
+}
+
+sim::Task<void> VerbsChannelBase::copy_out(VerbsConnection& c,
+                                           std::uint64_t ring_pos,
+                                           std::span<const Iov> iovs,
+                                           std::size_t iov_off, std::size_t n,
+                                           std::size_t ws) {
+  const std::size_t R = cfg_.ring_bytes;
+  std::size_t iv = 0;
+  std::size_t skipped = 0;
+  while (iv < iovs.size() && skipped + iovs[iv].len <= iov_off) {
+    skipped += iovs[iv].len;
+    ++iv;
+  }
+  std::size_t in_iov = iov_off - skipped;
+  while (n > 0 && iv < iovs.size()) {
+    const std::size_t off = static_cast<std::size_t>(ring_pos % R);
+    std::size_t piece = std::min({n, iovs[iv].len - in_iov, R - off});
+    co_await node().copy(iovs[iv].base + in_iov, c.recv_ring.data() + off,
+                         piece, ws);
+    ring_pos += piece;
+    in_iov += piece;
+    n -= piece;
+    if (in_iov == iovs[iv].len) {
+      ++iv;
+      in_iov = 0;
+    }
+  }
+}
+
+}  // namespace rdmach

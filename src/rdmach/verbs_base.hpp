@@ -1,0 +1,125 @@
+// Common machinery for the RDMA-write-based channel designs (basic,
+// piggyback, pipeline, zero-copy): connection bootstrap through PMI,
+// registered ring/staging/control-block memory, and completion dispatch.
+//
+// Memory layout per connection (mirroring paper section 4.2): the "shared"
+// ring lives in the receiver's memory, registered and exported; the sender
+// keeps a preregistered staging buffer of the same size; head and tail
+// pointers are replicated so neither side ever polls through the network --
+// the tail master lives at the receiver with a replica at the sender, the
+// head master at the sender with a replica at the receiver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ib/cq.hpp"
+#include "ib/fabric.hpp"
+#include "ib/hca.hpp"
+#include "ib/mr.hpp"
+#include "ib/node.hpp"
+#include "ib/qp.hpp"
+#include "rdmach/channel.hpp"
+
+namespace rdmach {
+
+/// Registered control block; offsets are part of the wire protocol.
+struct alignas(64) CtrlBlock {
+  /// Written by the peer: how much of MY outgoing stream it has consumed.
+  std::uint64_t tail_replica = 0;
+  /// Written by the peer: how much it has produced into MY incoming ring
+  /// (used by the basic design only; the others piggyback/flag instead).
+  std::uint64_t head_replica = 0;
+  /// My outgoing produced count (RDMA-write source for head updates).
+  std::uint64_t head_master = 0;
+  /// My incoming consumed count (RDMA-write source for tail updates).
+  std::uint64_t tail_master = 0;
+};
+
+inline constexpr std::size_t kCtrlTailReplicaOff = 0;
+inline constexpr std::size_t kCtrlHeadReplicaOff = 8;
+inline constexpr std::size_t kCtrlHeadMasterOff = 16;
+inline constexpr std::size_t kCtrlTailMasterOff = 24;
+
+class VerbsConnection : public Connection {
+ public:
+  ib::QueuePair* qp = nullptr;
+  std::vector<std::byte> recv_ring;  // peer RDMA-writes message data here
+  std::vector<std::byte> staging;    // preregistered send-side copy buffer
+  CtrlBlock ctrl;
+  ib::MemoryRegion* ring_mr = nullptr;
+  ib::MemoryRegion* staging_mr = nullptr;
+  ib::MemoryRegion* ctrl_mr = nullptr;
+  std::uint64_t r_ring_addr = 0;  // peer's recv ring (for my writes)
+  std::uint32_t r_ring_rkey = 0;
+  std::uint64_t r_ctrl_addr = 0;  // peer's control block
+  std::uint32_t r_ctrl_rkey = 0;
+};
+
+class VerbsChannelBase : public Channel {
+ public:
+  sim::Task<void> init() override;
+  sim::Task<void> finalize() override;
+  Connection& connection(int peer) override;
+  sim::Task<void> wait_for_activity() override;
+  std::uint64_t activity_count() const override;
+
+  ib::ProtectionDomain& pd() const noexcept { return *pd_; }
+  ib::CompletionQueue& cq() const noexcept { return *cq_; }
+  ib::Node& node() const noexcept { return *ctx_->node; }
+
+ protected:
+  VerbsChannelBase(pmi::Context& ctx, const ChannelConfig& cfg)
+      : Channel(ctx, cfg) {}
+
+  /// Design-specific connection state.
+  virtual std::unique_ptr<VerbsConnection> make_connection() = 0;
+
+  std::uint64_t next_wr_id() noexcept { return ++wr_seq_; }
+
+  /// RDMA-writes staging[staging_off, +len) into the peer ring at ring_off.
+  void post_ring_write(VerbsConnection& c, std::size_t staging_off,
+                       std::size_t len, std::size_t ring_off, bool signaled,
+                       std::uint64_t wr_id);
+
+  /// RDMA-writes my head_master into the peer's head_replica (basic design).
+  void post_head_update(VerbsConnection& c);
+  /// RDMA-writes my tail_master into the peer's tail_replica.
+  void post_tail_update(VerbsConnection& c);
+
+  /// Polls every available CQE into the completion stash.
+  void drain_cq();
+  /// Removes a stashed completion for wr_id, if present.
+  bool take_completion(std::uint64_t wr_id, ib::Wc* out);
+  /// Blocks until the completion for wr_id is available (throws on error
+  /// status -- channel-internal transfers are programmed correctly by
+  /// construction, so an error CQE here is a bug, not a runtime condition).
+  sim::Task<ib::Wc> await_completion(std::uint64_t wr_id);
+
+  /// Charges the per-call software overhead.
+  sim::Task<void> call_overhead() {
+    return node().compute(cfg_.per_call_overhead);
+  }
+
+  /// Scatter/gather between an iov list (with a starting byte offset) and a
+  /// ring region, handling ring wraparound; charges modelled copy time.
+  /// `ws` is the working-set hint forwarded to Node::copy.
+  sim::Task<void> copy_in(VerbsConnection& c, std::uint64_t ring_pos,
+                          std::span<const ConstIov> iovs, std::size_t iov_off,
+                          std::size_t n, std::size_t ws);
+  sim::Task<void> copy_out(VerbsConnection& c, std::uint64_t ring_pos,
+                           std::span<const Iov> iovs, std::size_t iov_off,
+                           std::size_t n, std::size_t ws);
+
+  std::vector<std::unique_ptr<VerbsConnection>> conns_;  // [peer]; self null
+
+ private:
+  ib::ProtectionDomain* pd_ = nullptr;
+  ib::CompletionQueue* cq_ = nullptr;
+  std::unordered_map<std::uint64_t, ib::Wc> completed_;
+  std::uint64_t wr_seq_ = 0;
+};
+
+}  // namespace rdmach

@@ -1,0 +1,59 @@
+#include "sdp/sdp.hpp"
+
+namespace sdp {
+
+sim::Task<void> Stream::send(const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const std::uint64_t gen = ch_->activity_count();
+    const std::size_t k = co_await ch_->put(*conn_, p + done, len - done);
+    done += k;
+    if (done < len && k == 0 && ch_->activity_count() == gen) {
+      co_await ch_->wait_for_activity();
+    }
+  }
+}
+
+sim::Task<std::size_t> Stream::recv(void* buf, std::size_t len) {
+  if (len == 0) co_return 0;
+  auto* p = static_cast<std::byte*>(buf);
+  for (;;) {
+    const std::uint64_t gen = ch_->activity_count();
+    const std::size_t k = co_await ch_->get(*conn_, p, len);
+    if (k > 0) co_return k;
+    if (ch_->activity_count() == gen) co_await ch_->wait_for_activity();
+  }
+}
+
+sim::Task<void> Stream::recv_exact(void* buf, std::size_t len) {
+  auto* p = static_cast<std::byte*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    done += co_await recv(p + done, len - done);
+  }
+}
+
+sim::Task<std::unique_ptr<Endpoint>> Endpoint::create(
+    pmi::Context& ctx, const rdmach::ChannelConfig& cfg) {
+  auto ep =
+      std::unique_ptr<Endpoint>(new Endpoint(rdmach::Channel::create(ctx, cfg)));
+  co_await ep->ch_->init();
+  ep->streams_.resize(static_cast<std::size_t>(ep->ch_->size()));
+  for (int p = 0; p < ep->ch_->size(); ++p) {
+    if (p == ep->ch_->rank()) continue;
+    ep->streams_[static_cast<std::size_t>(p)] =
+        std::make_unique<Stream>(*ep->ch_, p);
+  }
+  co_return ep;
+}
+
+sim::Task<void> Endpoint::close() { co_await ch_->finalize(); }
+
+Stream& Endpoint::stream(int peer) {
+  auto& s = streams_.at(static_cast<std::size_t>(peer));
+  if (!s) throw std::logic_error("no stream to self");
+  return *s;
+}
+
+}  // namespace sdp

@@ -1,0 +1,131 @@
+// Bandwidth-server resources.
+//
+// A BandwidthResource models a serial transfer engine with a fixed byte
+// rate: a memory bus, a host-adapter link, a switch port.  Capacity is
+// booked as time intervals on a calendar: a request books the earliest gap
+// (no earlier than its data's arrival time) that fits its duration.  This
+// gives FIFO service under load while letting a locally-generated request
+// (e.g. a CPU copy) fill the gap in front of a DMA chunk that was booked
+// ahead of time for data still on the wire.
+//
+// Large transfers should be submitted chunk-by-chunk (transfer() does this
+// internally) so concurrent streams interleave at chunk granularity and
+// each observes roughly half the rate -- a faithful first-order model of
+// memory-bus sharing between a CPU copy and HCA DMA, which is the effect
+// behind the paper's pipelining-vs-zero-copy gap.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+class BandwidthResource {
+ public:
+  /// `rate_mbps` is in the paper's bandwidth unit (1 MB = 1e6 bytes).
+  /// `chunk_bytes` is the interleaving granularity for transfer().
+  BandwidthResource(Simulator& sim, std::string name, double rate_mbps,
+                    std::int64_t chunk_bytes = 8192)
+      : sim_(&sim),
+        name_(std::move(name)),
+        rate_mbps_(rate_mbps),
+        chunk_bytes_(chunk_bytes) {}
+
+  BandwidthResource(const BandwidthResource&) = delete;
+  BandwidthResource& operator=(const BandwidthResource&) = delete;
+
+  /// Books `bytes` of service starting as soon as possible; returns the
+  /// absolute completion time.  The caller is responsible for awaiting
+  /// until then (reserve + delay is the primitive; transfer() is the
+  /// convenient composite).
+  Tick reserve(std::int64_t bytes) { return reserve_from(sim_->now(), bytes); }
+
+  /// Like reserve(), but service may not start before `earliest` (used when
+  /// booking a downstream pipeline stage whose input arrives in the
+  /// future).  Books the first gap that fits; requests arriving later may
+  /// still fill earlier gaps.
+  Tick reserve_from(Tick earliest, std::int64_t bytes) {
+    const Tick now = sim_->now();
+    prune(now);
+    const Tick dur = transfer_time(bytes, rate_mbps_);
+    Tick start = earliest > now ? earliest : now;
+    std::size_t pos = 0;
+    for (; pos < busy_.size(); ++pos) {
+      const auto& [bs, be] = busy_[pos];
+      if (bs >= start + dur) break;  // fits entirely before this interval
+      if (be > start) start = be;    // pushed past this busy interval
+    }
+    insert(pos, start, start + dur);
+    total_bytes_ += bytes;
+    busy_ticks_ += dur;
+    return start + dur;
+  }
+
+  /// Occupies the resource for `bytes`, chunked so concurrent users
+  /// interleave.  Completes when the last chunk has been served.
+  Task<void> transfer(std::int64_t bytes) {
+    while (bytes > 0) {
+      const std::int64_t chunk = bytes < chunk_bytes_ ? bytes : chunk_bytes_;
+      bytes -= chunk;
+      co_await sim_->delay_until(reserve(chunk));
+    }
+  }
+
+  /// End of the last booked interval (diagnostic; new requests may still
+  /// start earlier, in a gap).
+  Tick booked_until() const noexcept {
+    return busy_.empty() ? sim_->now() : busy_.back().second;
+  }
+
+  double rate_mbps() const noexcept { return rate_mbps_; }
+  std::int64_t chunk_bytes() const noexcept { return chunk_bytes_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Lifetime statistics, used by benches to report link/bus utilization.
+  std::int64_t total_bytes() const noexcept { return total_bytes_; }
+  Tick busy_ticks() const noexcept { return busy_ticks_; }
+  double utilization() const noexcept {
+    return sim_->now() > 0
+               ? static_cast<double>(busy_ticks_) /
+                     static_cast<double>(sim_->now())
+               : 0.0;
+  }
+
+ private:
+  void prune(Tick now) {
+    while (!busy_.empty() && busy_.front().second <= now) busy_.pop_front();
+  }
+
+  void insert(std::size_t pos, Tick s, Tick e) {
+    // Coalesce with neighbours to keep the calendar short.
+    if (pos > 0 && busy_[pos - 1].second == s) {
+      busy_[pos - 1].second = e;
+      if (pos < busy_.size() && busy_[pos].first == e) {
+        busy_[pos - 1].second = busy_[pos].second;
+        busy_.erase(busy_.begin() + static_cast<std::ptrdiff_t>(pos));
+      }
+      return;
+    }
+    if (pos < busy_.size() && busy_[pos].first == e) {
+      busy_[pos].first = s;
+      return;
+    }
+    busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(pos), {s, e});
+  }
+
+  Simulator* sim_;
+  std::string name_;
+  double rate_mbps_;
+  std::int64_t chunk_bytes_;
+  std::deque<std::pair<Tick, Tick>> busy_;  // sorted, disjoint intervals
+  std::int64_t total_bytes_ = 0;
+  Tick busy_ticks_ = 0;
+};
+
+}  // namespace sim

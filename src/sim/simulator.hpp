@@ -1,0 +1,139 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator owns a virtual clock and a time-ordered event queue whose
+// entries are coroutine handles to resume.  It is strictly single-threaded:
+// concurrency between simulated processes is interleaving at co_await
+// points, which makes every run bit-for-bit deterministic (events at equal
+// timestamps are processed in scheduling order).
+//
+// Processes come in two flavours:
+//   * spawn(task, name)        -- a root process that is expected to finish;
+//                                 run() reports a deadlock if the event queue
+//                                 drains while any such process is blocked.
+//   * spawn_daemon(task, name) -- a service loop (progress engine, HCA
+//                                 engine, ...) that may legitimately remain
+//                                 blocked forever; ignored by the deadlock
+//                                 check and discarded when the run ends.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+/// Thrown by run() when a root process exits via an exception.
+class ProcessError : public std::runtime_error {
+ public:
+  ProcessError(std::string process, std::string what)
+      : std::runtime_error("process '" + process + "' failed: " + what),
+        process_(std::move(process)) {}
+  const std::string& process() const noexcept { return process_; }
+
+ private:
+  std::string process_;
+};
+
+/// Thrown by run() when the event queue drains while root processes are
+/// still blocked (a lost wakeup / protocol deadlock in the simulated code).
+class DeadlockError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  Tick now() const noexcept { return now_; }
+
+  /// Schedules `h` to resume at absolute time `at` (clamped to now()).
+  /// Events with equal time fire in scheduling order.
+  void schedule(Tick at, std::coroutine_handle<> h);
+
+  /// Schedules a plain callback at absolute time `at` (clamped to now()).
+  /// Used for fire-and-forget completion events that need no coroutine
+  /// frame (data delivery, CQE generation).
+  void call_at(Tick at, std::function<void()> fn);
+
+  /// Awaitable: resumes the caller `d` ticks from now.  delay(0) still
+  /// suspends, acting as a deterministic yield behind already-queued events.
+  auto delay(Tick d) {
+    struct Awaiter {
+      Simulator& sim;
+      Tick at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sim.schedule(at, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, now_ + (d > 0 ? d : 0)};
+  }
+
+  /// Awaitable: resumes the caller at absolute time `t` (>= now).
+  auto delay_until(Tick t) { return delay(t > now_ ? t - now_ : 0); }
+
+  /// Adopts `proc` as a root process; it starts at the current time, behind
+  /// events already queued.
+  void spawn(Task<void> proc, std::string name = "process");
+
+  /// Adopts `proc` as a daemon (see file comment).
+  void spawn_daemon(Task<void> proc, std::string name = "daemon");
+
+  /// Runs until the event queue is empty.  Throws ProcessError if a root
+  /// process failed, DeadlockError if any root process is still blocked
+  /// when the queue drains.
+  void run();
+
+  /// Runs events with timestamp <= t, then stops (clock advances to t).
+  /// Does not perform the deadlock check.  Returns the final clock.
+  Tick run_until(Tick t);
+
+  std::size_t events_processed() const noexcept { return events_processed_; }
+  std::size_t live_root_processes() const noexcept;
+
+ private:
+  struct ProcessState {
+    Simulator* sim = nullptr;
+    std::string name;
+    bool finished = false;
+    bool daemon = false;
+    std::exception_ptr error{};
+    std::coroutine_handle<> root{};
+  };
+
+  struct RootTask;
+  static RootTask root_runner(Task<void> inner);
+  void adopt(Task<void> proc, std::string name, bool daemon);
+  void drain(Tick limit, bool bounded);
+
+  struct Event {
+    Tick at;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const noexcept {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<ProcessState>> processes_;
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_processed_ = 0;
+  ProcessState* failed_ = nullptr;
+};
+
+}  // namespace sim

@@ -1,0 +1,62 @@
+// Virtual-time units for the discrete-event simulator.
+//
+// All simulated time is kept in integer picoseconds.  Picosecond resolution
+// keeps rounding error negligible even for single-byte transfers at GB/s
+// rates (1 byte at 1 GB/s is exactly 1000 ticks), while int64 still covers
+// ~106 days of simulated time -- far beyond any benchmark in this repo.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sim {
+
+/// One tick is one picosecond of virtual time.
+using Tick = std::int64_t;
+
+inline constexpr Tick kPicosecond = 1;
+inline constexpr Tick kNanosecond = 1'000;
+inline constexpr Tick kMicrosecond = 1'000'000;
+inline constexpr Tick kMillisecond = 1'000'000'000;
+inline constexpr Tick kSecond = 1'000'000'000'000;
+
+/// Converts fractional microseconds (the natural unit of the paper's
+/// latency numbers) to ticks, rounding to the nearest picosecond.
+constexpr Tick usec(double us) {
+  return static_cast<Tick>(us * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+/// Converts fractional nanoseconds to ticks.
+constexpr Tick nsec(double ns) {
+  return static_cast<Tick>(ns * static_cast<double>(kNanosecond) + 0.5);
+}
+
+/// Converts ticks to fractional microseconds (for reporting).
+constexpr double to_usec(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Converts ticks to fractional seconds (for reporting).
+constexpr double to_sec(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Serialization time of `bytes` at a rate given in the paper's bandwidth
+/// unit (MB/s, where 1 MB = 1e6 bytes).  Rounds up so that a transfer is
+/// never free.
+constexpr Tick transfer_time(std::int64_t bytes, double megabytes_per_sec) {
+  if (bytes <= 0) return 0;
+  const double seconds =
+      static_cast<double>(bytes) / (megabytes_per_sec * 1e6);
+  const Tick ticks =
+      static_cast<Tick>(seconds * static_cast<double>(kSecond) + 0.5);
+  return ticks > 0 ? ticks : 1;
+}
+
+/// Inverse of transfer_time: achieved bandwidth in MB/s (1 MB = 1e6 B).
+constexpr double bandwidth_mbps(std::int64_t bytes, Tick elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / to_sec(elapsed) / 1e6;
+}
+
+}  // namespace sim

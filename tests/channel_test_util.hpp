@@ -1,0 +1,42 @@
+// Helpers for driving the nonblocking put/get interface from tests:
+// blocking send/recv retry loops with the standard activity-count pattern
+// that closes the check-then-sleep race.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rdmach/channel.hpp"
+#include "sim/task.hpp"
+
+namespace rdmach::testutil {
+
+inline sim::Task<void> send_all(Channel& ch, Connection& c, const void* buf,
+                                std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t gen = ch.activity_count();
+    const std::size_t k = co_await ch.put(c, p + done, n - done);
+    done += k;
+    if (done < n && k == 0 && ch.activity_count() == gen) {
+      co_await ch.wait_for_activity();
+    }
+  }
+}
+
+inline sim::Task<void> recv_all(Channel& ch, Connection& c, void* buf,
+                                std::size_t n) {
+  auto* p = static_cast<std::byte*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::uint64_t gen = ch.activity_count();
+    const std::size_t k = co_await ch.get(c, p + done, n - done);
+    done += k;
+    if (done < n && k == 0 && ch.activity_count() == gen) {
+      co_await ch.wait_for_activity();
+    }
+  }
+}
+
+}  // namespace rdmach::testutil

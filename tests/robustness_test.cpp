@@ -1,0 +1,195 @@
+// Edge-case and robustness tests across layers: the bandwidth calendar's
+// gap-filling, slot-generation wraparound in the ring protocol, zero-length
+// transfers, incast fairness on the RX link, and deep churn runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel_test_util.hpp"
+#include "ib/cq.hpp"
+#include "ib/fabric.hpp"
+#include "ib/hca.hpp"
+#include "ib/mr.hpp"
+#include "ib/qp.hpp"
+#include "pmi/pmi.hpp"
+#include "rdmach/channel.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using rdmach::testutil::recv_all;
+using rdmach::testutil::send_all;
+
+// ---------------------------------------------------------------------------
+// Bandwidth calendar.
+// ---------------------------------------------------------------------------
+
+TEST(Calendar, LocalRequestFillsGapBeforeFutureBooking) {
+  sim::Simulator sim;
+  sim::BandwidthResource bus(sim, "bus", 1000.0);  // 1 byte/ns
+  // A future booking leaves [now, 10us) idle.
+  const sim::Tick far = bus.reserve_from(sim::usec(10.0), 1000);
+  EXPECT_EQ(far, sim::usec(11.0));
+  // A small immediate request must slot into the gap, not queue behind.
+  const sim::Tick nearby = bus.reserve(2000);
+  EXPECT_EQ(nearby, sim::usec(2.0));
+  // A request too large for the gap goes after the future booking.
+  const sim::Tick big = bus.reserve(9000);
+  EXPECT_EQ(big, sim::usec(20.0));
+}
+
+TEST(Calendar, CoalescingKeepsCalendarSmallUnderChurn) {
+  sim::Simulator sim;
+  sim::BandwidthResource bus(sim, "bus", 1000.0);
+  // Back-to-back bookings coalesce into one interval; total time is exact.
+  sim::Tick last = 0;
+  for (int i = 0; i < 10'000; ++i) last = bus.reserve(100);
+  EXPECT_EQ(last, sim::usec(1000.0));
+  EXPECT_EQ(bus.total_bytes(), 1'000'000);
+}
+
+TEST(Calendar, RandomizedBookingsNeverOverlap) {
+  // Property: completion times returned for a fixed arrival instant are
+  // distinct and each request takes at least its serialization time.
+  sim::Simulator sim;
+  sim::BandwidthResource bus(sim, "bus", 1600.0);
+  sim::Rng rng(555);
+  std::vector<std::pair<sim::Tick, sim::Tick>> spans;  // (done, bytes-time)
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t bytes = 1 + static_cast<std::int64_t>(rng.below(8192));
+    const sim::Tick earliest = static_cast<sim::Tick>(rng.below(sim::usec(50)));
+    const sim::Tick done = bus.reserve_from(earliest, bytes);
+    const sim::Tick dur = sim::transfer_time(bytes, 1600.0);
+    EXPECT_GE(done, earliest + dur);
+    spans.emplace_back(done, dur);
+  }
+  // Total busy time equals the sum of durations (no double booking).
+  sim::Tick total = 0;
+  for (auto& [done, dur] : spans) total += dur;
+  EXPECT_EQ(bus.busy_ticks(), total);
+}
+
+// ---------------------------------------------------------------------------
+// Ring protocol wraparound.
+// ---------------------------------------------------------------------------
+
+TEST(SlotRing, GenerationFlagsSurviveThousandsOfWraps) {
+  // 8 slots per ring: 4000 messages wrap the ring 500 times; generation
+  // stamps must keep stale flags from ever matching.
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  pmi::Job job(fabric, 2);
+  rdmach::ChannelConfig cfg;
+  cfg.design = rdmach::Design::kPiggyback;
+  std::unique_ptr<rdmach::Channel> chans[2];
+  int checked = 0;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    chans[ctx.rank] = rdmach::Channel::create(ctx, cfg);
+    auto& ch = *chans[ctx.rank];
+    co_await ch.init();
+    auto& conn = ch.connection(1 - ctx.rank);
+    constexpr int kMsgs = 4000;
+    if (ctx.rank == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        co_await send_all(ch, conn, &i, sizeof(i));
+      }
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        int v = -1;
+        co_await recv_all(ch, conn, &v, sizeof(v));
+        if (v == i) ++checked;
+      }
+    }
+    co_await ch.finalize();
+  });
+  sim.run();
+  EXPECT_EQ(checked, 4000);
+}
+
+TEST(Channels, ZeroLengthPutGetAreSafeNoOps) {
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  pmi::Job job(fabric, 2);
+  rdmach::ChannelConfig cfg;  // zero-copy default
+  std::unique_ptr<rdmach::Channel> chans[2];
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    chans[ctx.rank] = rdmach::Channel::create(ctx, cfg);
+    auto& ch = *chans[ctx.rank];
+    co_await ch.init();
+    auto& conn = ch.connection(1 - ctx.rank);
+    std::byte b{};
+    const std::size_t p = co_await ch.put(conn, &b, 0);
+    EXPECT_EQ(p, 0u);
+    const std::size_t g = co_await ch.get(conn, &b, 0);
+    EXPECT_EQ(g, 0u);
+    // A real byte still flows afterwards.
+    if (ctx.rank == 0) {
+      b = std::byte{0x7e};
+      co_await send_all(ch, conn, &b, 1);
+    } else {
+      co_await recv_all(ch, conn, &b, 1);
+      EXPECT_EQ(b, std::byte{0x7e});
+    }
+    co_await ch.finalize();
+  });
+  sim.run();
+}
+
+// ---------------------------------------------------------------------------
+// Incast: several senders share one receiver's RX link fairly enough.
+// ---------------------------------------------------------------------------
+
+TEST(Incast, SevenSendersShareTheReceiverLink) {
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  constexpr int kSenders = 7;
+  constexpr std::size_t kMsg = 1 << 20;
+  ib::Node& rx = fabric.add_node("rx");
+  ib::ProtectionDomain& rx_pd = rx.hca().alloc_pd();
+  static std::vector<std::vector<std::byte>> dst(
+      kSenders, std::vector<std::byte>(kMsg));
+  static std::vector<std::byte> src(kMsg, std::byte{1});
+  std::vector<sim::Tick> done(kSenders, 0);
+
+  for (int s = 0; s < kSenders; ++s) {
+    ib::Node& tx = fabric.add_node("tx" + std::to_string(s));
+    ib::ProtectionDomain& pd = tx.hca().alloc_pd();
+    ib::CompletionQueue& cq = tx.hca().create_cq("cq" + std::to_string(s));
+    ib::CompletionQueue& rcq = rx.hca().create_cq("rcq" + std::to_string(s));
+    ib::QueuePair& qp = tx.hca().create_qp(pd, cq, cq);
+    ib::QueuePair& rqp = rx.hca().create_qp(rx_pd, rcq, rcq);
+    qp.connect(rqp);
+    sim.spawn(
+        [](ib::ProtectionDomain& spd, ib::ProtectionDomain& dpd,
+           ib::QueuePair& q, ib::CompletionQueue& c, int idx,
+           sim::Tick& out) -> sim::Task<void> {
+          ib::MemoryRegion* ms = co_await spd.register_memory(src.data(), kMsg);
+          ib::MemoryRegion* md = co_await dpd.register_memory(
+              dst[static_cast<std::size_t>(idx)].data(), kMsg);
+          q.post_send(ib::SendWr{
+              1, ib::Opcode::kRdmaWrite, {ib::Sge{src.data(), kMsg, ms->lkey()}},
+              reinterpret_cast<std::uint64_t>(
+                  dst[static_cast<std::size_t>(idx)].data()),
+              md->rkey(), true});
+          (void)co_await c.next();
+          out = q.hca().fabric().sim().now();
+        }(pd, rx_pd, qp, cq, s, done[static_cast<std::size_t>(s)]),
+        "sender" + std::to_string(s));
+  }
+  sim.run();
+  // All seven 1 MB writes funnel through one 870 MB/s RX link: aggregate
+  // time ~= 7 MB / 870 MB/s ~= 8.4 ms, and completion times are spread
+  // (fair-ish interleaving), not one-at-a-time serial.
+  sim::Tick min_done = done[0], max_done = done[0];
+  for (sim::Tick t : done) {
+    min_done = std::min(min_done, t);
+    max_done = std::max(max_done, t);
+  }
+  EXPECT_NEAR(sim::to_usec(max_done), 7.0 * kMsg / 870.0, 600.0);
+  // Chunk-level interleaving: the first completion cannot be a single
+  // un-contended transfer (that would be ~1.2 ms).
+  EXPECT_GT(sim::to_usec(min_done), 2.0 * kMsg / 870.0);
+}
+
+}  // namespace

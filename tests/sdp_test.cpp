@@ -1,0 +1,131 @@
+// Tests for the SDP-style socket layer: blocking stream semantics
+// (partial recv, exact framing), zero-copy pass-through for large sends,
+// and a small RPC-style exchange.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ib/fabric.hpp"
+#include "pmi/pmi.hpp"
+#include "sdp/sdp.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace sdp {
+namespace {
+
+struct SdpRig {
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job;
+  rdmach::ChannelConfig cfg;
+
+  explicit SdpRig(int n) : job(fabric, n) {}
+
+  using Body = std::function<sim::Task<void>(Endpoint&, pmi::Context&)>;
+
+  void run(Body body) {
+    job.launch([this, body](pmi::Context& ctx) -> sim::Task<void> {
+      auto ep = co_await Endpoint::create(ctx, cfg);
+      co_await body(*ep, ctx);
+      co_await ep->close();
+    });
+    sim.run();
+  }
+};
+
+TEST(Sdp, StreamDeliversBytesInOrder) {
+  SdpRig rig(2);
+  rig.run([](Endpoint& ep, pmi::Context&) -> sim::Task<void> {
+    if (ep.rank() == 0) {
+      const char* parts[] = {"hello ", "stream ", "world"};
+      for (const char* p : parts) {
+        co_await ep.stream(1).send(p, std::strlen(p));
+      }
+    } else {
+      char buf[32] = {};
+      co_await ep.stream(0).recv_exact(buf, 18);
+      EXPECT_STREQ(buf, "hello stream world");
+    }
+  });
+}
+
+TEST(Sdp, RecvReturnsPartialDataLikeASocket) {
+  SdpRig rig(2);
+  rig.run([](Endpoint& ep, pmi::Context& ctx) -> sim::Task<void> {
+    if (ep.rank() == 0) {
+      std::byte a[100];
+      std::memset(a, 1, sizeof(a));
+      co_await ep.stream(1).send(a, 100);
+      co_await ctx.sim().delay(sim::usec(100));
+      co_await ep.stream(1).send(a, 100);
+    } else {
+      // Ask for 512 bytes: a socket returns what has arrived (100), not
+      // blocks for the full request.
+      std::byte buf[512];
+      const std::size_t got = co_await ep.stream(0).recv(buf, 512);
+      EXPECT_EQ(got, 100u);
+      const std::size_t got2 = co_await ep.stream(0).recv(buf, 512);
+      EXPECT_EQ(got2, 100u);
+    }
+  });
+}
+
+TEST(Sdp, LargeSendRidesTheZeroCopyPath) {
+  SdpRig rig(2);
+  sim::TraceSink sink;
+  rig.fabric.attach_tracer(&sink);
+  constexpr std::size_t kN = 1 << 20;
+  rig.run([](Endpoint& ep, pmi::Context&) -> sim::Task<void> {
+    static std::vector<std::byte> big(kN, std::byte{0x42});
+    if (ep.rank() == 0) {
+      co_await ep.stream(1).send(big.data(), kN);
+    } else {
+      std::vector<std::byte> got(kN);
+      co_await ep.stream(0).recv_exact(got.data(), kN);
+      EXPECT_EQ(got, big);
+    }
+  });
+  // SDP Z-Copy: the payload moved by RDMA read, not through the rings.
+  EXPECT_EQ(sink.count("rdma_read"), 1u);
+}
+
+TEST(Sdp, RequestResponseRpcAcrossFourRanks) {
+  // A tiny RPC pattern: rank 0 is the server, everyone else sends a
+  // length-prefixed request and reads a doubled response.
+  SdpRig rig(4);
+  rig.run([](Endpoint& ep, pmi::Context&) -> sim::Task<void> {
+    if (ep.rank() == 0) {
+      for (int c = 1; c < ep.size(); ++c) {
+        std::uint32_t len = 0;
+        co_await ep.stream(c).recv_exact(&len, 4);
+        std::vector<std::byte> req(len);
+        co_await ep.stream(c).recv_exact(req.data(), len);
+        std::vector<std::byte> resp(req);
+        resp.insert(resp.end(), req.begin(), req.end());  // echo twice
+        const std::uint32_t rlen = static_cast<std::uint32_t>(resp.size());
+        co_await ep.stream(c).send(&rlen, 4);
+        co_await ep.stream(c).send(resp.data(), resp.size());
+      }
+    } else {
+      sim::Rng rng(static_cast<std::uint64_t>(ep.rank()));
+      std::vector<std::byte> req(64 + rng.below(400));
+      for (auto& b : req) b = static_cast<std::byte>(rng.next());
+      const std::uint32_t len = static_cast<std::uint32_t>(req.size());
+      co_await ep.stream(0).send(&len, 4);
+      co_await ep.stream(0).send(req.data(), req.size());
+      std::uint32_t rlen = 0;
+      co_await ep.stream(0).recv_exact(&rlen, 4);
+      EXPECT_EQ(rlen, 2 * len);
+      std::vector<std::byte> resp(rlen);
+      co_await ep.stream(0).recv_exact(resp.data(), rlen);
+      EXPECT_TRUE(std::equal(req.begin(), req.end(), resp.begin()));
+      EXPECT_TRUE(std::equal(req.begin(), req.end(),
+                             resp.begin() + static_cast<std::ptrdiff_t>(len)));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sdp

@@ -1,0 +1,413 @@
+// Unit tests for the discrete-event simulation kernel: task semantics,
+// event ordering, process lifecycle, synchronization primitives, and the
+// bandwidth-resource contention model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(usec(1.0), kMicrosecond);
+  EXPECT_EQ(usec(5.9), 5'900'000);
+  EXPECT_EQ(nsec(2.5), 2'500);
+  EXPECT_DOUBLE_EQ(to_usec(kMillisecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_sec(kSecond), 1.0);
+}
+
+TEST(Time, TransferTimeMatchesRate) {
+  // 870 MB/s: 87 bytes take exactly 100 ns.
+  EXPECT_EQ(transfer_time(87, 870.0), 100 * kNanosecond);
+  // One byte at 1 GB/s is 1 ns.
+  EXPECT_EQ(transfer_time(1, 1000.0), kNanosecond);
+  EXPECT_EQ(transfer_time(0, 870.0), 0);
+  // Never free: rounding is upward.
+  EXPECT_GT(transfer_time(1, 1e9), 0);
+}
+
+TEST(Time, BandwidthInverse) {
+  const Tick t = transfer_time(1'000'000, 857.0);
+  EXPECT_NEAR(bandwidth_mbps(1'000'000, t), 857.0, 0.1);
+}
+
+TEST(Simulator, DelayAdvancesClock) {
+  Simulator sim;
+  Tick seen = -1;
+  sim.spawn(
+      [](Simulator& s, Tick& out) -> Task<void> {
+        co_await s.delay(usec(3.5));
+        out = s.now();
+      }(sim, seen),
+      "delayer");
+  sim.run();
+  EXPECT_EQ(seen, usec(3.5));
+}
+
+TEST(Simulator, EqualTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn(
+        [](Simulator& s, std::vector<int>& ord, int id) -> Task<void> {
+          co_await s.delay(usec(1.0));
+          ord.push_back(id);
+        }(sim, order, i),
+        "p" + std::to_string(i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedTaskCallsPropagateValues) {
+  Simulator sim;
+  int result = 0;
+  struct Helpers {
+    static Task<int> leaf(Simulator& s) {
+      co_await s.delay(usec(1.0));
+      co_return 21;
+    }
+    static Task<int> mid(Simulator& s) {
+      int v = co_await leaf(s);
+      co_return v * 2;
+    }
+  };
+  sim.spawn(
+      [](Simulator& s, int& out) -> Task<void> {
+        out = co_await Helpers::mid(s);
+      }(sim, result),
+      "nest");
+  sim.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(sim.now(), usec(1.0));
+}
+
+TEST(Simulator, ExceptionInProcessSurfacesAsProcessError) {
+  Simulator sim;
+  sim.spawn(
+      [](Simulator& s) -> Task<void> {
+        co_await s.delay(usec(1.0));
+        throw std::runtime_error("boom");
+      }(sim),
+      "failing-process");
+  try {
+    sim.run();
+    FAIL() << "expected ProcessError";
+  } catch (const ProcessError& e) {
+    EXPECT_EQ(e.process(), "failing-process");
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Simulator, ExceptionPropagatesThroughNestedTasks) {
+  Simulator sim;
+  bool caught = false;
+  struct Helpers {
+    static Task<void> thrower(Simulator& s) {
+      co_await s.delay(usec(1.0));
+      throw std::logic_error("inner");
+    }
+  };
+  sim.spawn(
+      [](Simulator& s, bool& c) -> Task<void> {
+        try {
+          co_await Helpers::thrower(s);
+        } catch (const std::logic_error&) {
+          c = true;
+        }
+      }(sim, caught),
+      "catcher");
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulator, BlockedRootProcessIsDeadlock) {
+  Simulator sim;
+  Trigger never(sim);
+  sim.spawn(
+      [](Trigger& t) -> Task<void> { co_await t.wait(); }(never),
+      "stuck-one");
+  EXPECT_THROW(sim.run(), DeadlockError);
+}
+
+TEST(Simulator, DaemonMayBlockForever) {
+  Simulator sim;
+  Trigger never(sim);
+  sim.spawn_daemon(
+      [](Trigger& t) -> Task<void> {
+        for (;;) co_await t.wait();
+      }(never),
+      "service");
+  sim.spawn(
+      [](Simulator& s) -> Task<void> { co_await s.delay(usec(1.0)); }(sim),
+      "worker");
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(sim.live_root_processes(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtBound) {
+  Simulator sim;
+  int steps = 0;
+  sim.spawn_daemon(
+      [](Simulator& s, int& n) -> Task<void> {
+        for (;;) {
+          co_await s.delay(usec(1.0));
+          ++n;
+        }
+      }(sim, steps),
+      "ticker");
+  sim.run_until(usec(10.0));
+  EXPECT_EQ(steps, 10);
+  EXPECT_EQ(sim.now(), usec(10.0));
+}
+
+TEST(Simulator, DestructionWithPendingProcessesDoesNotLeak) {
+  // ASAN (if enabled) would flag leaked coroutine frames; structurally we
+  // just check this doesn't crash.
+  auto sim = std::make_unique<Simulator>();
+  Trigger* never = new Trigger(*sim);
+  sim->spawn(
+      [](Trigger& t) -> Task<void> { co_await t.wait(); }(*never),
+      "pending");
+  sim->run_until(usec(1.0));
+  sim.reset();
+  delete never;
+}
+
+TEST(Trigger, FireWakesAllCurrentWaiters) {
+  Simulator sim;
+  Trigger t(sim);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn(
+        [](Trigger& tr, int& w) -> Task<void> {
+          co_await tr.wait();
+          ++w;
+        }(t, woken),
+        "waiter");
+  }
+  sim.spawn(
+      [](Simulator& s, Trigger& tr) -> Task<void> {
+        co_await s.delay(usec(2.0));
+        tr.fire();
+      }(sim, t),
+      "firer");
+  sim.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(Trigger, FireBeforeWaitIsNotLatched) {
+  Simulator sim;
+  Trigger t(sim);
+  t.fire();  // nobody listening; must not latch
+  bool woke = false;
+  sim.spawn(
+      [](Trigger& tr, bool& w) -> Task<void> {
+        co_await tr.wait();
+        w = true;
+      }(t, woke),
+      "late-waiter");
+  EXPECT_THROW(sim.run(), DeadlockError);
+  EXPECT_FALSE(woke);
+}
+
+TEST(Gate, LatchesOpenState) {
+  Simulator sim;
+  Gate g(sim);
+  g.open();
+  bool passed = false;
+  sim.spawn(
+      [](Gate& gate, bool& p) -> Task<void> {
+        co_await gate.wait();
+        p = true;
+      }(g, passed),
+      "pass");
+  sim.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(Gate, ReleasesWaitersOnOpen) {
+  Simulator sim;
+  Gate g(sim);
+  Tick when = -1;
+  sim.spawn(
+      [](Simulator& s, Gate& gate, Tick& w) -> Task<void> {
+        co_await gate.wait();
+        w = s.now();
+      }(sim, g, when),
+      "waiter");
+  sim.spawn(
+      [](Simulator& s, Gate& gate) -> Task<void> {
+        co_await s.delay(usec(7.0));
+        gate.open();
+      }(sim, g),
+      "opener");
+  sim.run();
+  EXPECT_EQ(when, usec(7.0));
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int peak = 0, active = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.spawn(
+        [](Simulator& s, Semaphore& sm, int& act, int& pk) -> Task<void> {
+          co_await sm.acquire();
+          ++act;
+          pk = act > pk ? act : pk;
+          co_await s.delay(usec(1.0));
+          --act;
+          sm.release();
+        }(sim, sem, active, peak),
+        "user" + std::to_string(i));
+  }
+  sim.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(Mailbox, FifoOrderAcrossBlockingPops) {
+  Simulator sim;
+  Mailbox<int> mb(sim);
+  std::vector<int> got;
+  sim.spawn(
+      [](Mailbox<int>& m, std::vector<int>& out) -> Task<void> {
+        for (int i = 0; i < 4; ++i) out.push_back(co_await m.pop());
+      }(mb, got),
+      "consumer");
+  sim.spawn(
+      [](Simulator& s, Mailbox<int>& m) -> Task<void> {
+        for (int i = 0; i < 4; ++i) {
+          co_await s.delay(usec(1.0));
+          m.push(i);
+        }
+      }(sim, mb),
+      "producer");
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Mailbox, TryPopNonBlocking) {
+  Simulator sim;
+  Mailbox<int> mb(sim);
+  EXPECT_FALSE(mb.try_pop().has_value());
+  mb.push(9);
+  auto v = mb.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(BandwidthResource, SingleStreamRunsAtFullRate) {
+  Simulator sim;
+  BandwidthResource link(sim, "link", 870.0);
+  Tick done = -1;
+  sim.spawn(
+      [](Simulator& s, BandwidthResource& r, Tick& d) -> Task<void> {
+        co_await r.transfer(870'000);  // 1 ms at 870 MB/s
+        d = s.now();
+      }(sim, link, done),
+      "stream");
+  sim.run();
+  EXPECT_NEAR(to_usec(done), 1000.0, 1.0);
+  EXPECT_EQ(link.total_bytes(), 870'000);
+}
+
+TEST(BandwidthResource, TwoStreamsShareRateFairly) {
+  Simulator sim;
+  BandwidthResource bus(sim, "bus", 1600.0);
+  Tick d0 = -1, d1 = -1;
+  auto stream = [](Simulator& s, BandwidthResource& r, Tick& d) -> Task<void> {
+    co_await r.transfer(1'600'000);  // alone: 1 ms
+    d = s.now();
+  };
+  sim.spawn(stream(sim, bus, d0), "s0");
+  sim.spawn(stream(sim, bus, d1), "s1");
+  sim.run();
+  // Interleaved at chunk granularity: both finish near 2 ms.
+  EXPECT_NEAR(to_usec(d0), 2000.0, 20.0);
+  EXPECT_NEAR(to_usec(d1), 2000.0, 20.0);
+}
+
+TEST(BandwidthResource, LateArriverQueuesBehindBacklog) {
+  Simulator sim;
+  BandwidthResource link(sim, "link", 1000.0);  // 1 byte/ns
+  Tick done = -1;
+  sim.spawn(
+      [](BandwidthResource& r) -> Task<void> {
+        co_await r.transfer(4096);  // books [0, 4096 ns] in one chunk
+      }(link),
+      "first");
+  sim.spawn(
+      [](Simulator& s, BandwidthResource& r, Tick& d) -> Task<void> {
+        co_await s.delay(nsec(100));
+        co_await r.transfer(1000);
+        d = s.now();
+      }(sim, link, done),
+      "second");
+  sim.run();
+  EXPECT_EQ(done, nsec(4096 + 1000));
+}
+
+TEST(BandwidthResource, UtilizationAccounting) {
+  Simulator sim;
+  BandwidthResource link(sim, "link", 1000.0);
+  sim.spawn(
+      [](Simulator& s, BandwidthResource& r) -> Task<void> {
+        co_await r.transfer(1000);
+        co_await s.delay(nsec(1000));  // idle tail
+      }(sim, link),
+      "half-busy");
+  sim.run();
+  EXPECT_NEAR(link.utilization(), 0.5, 0.01);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const auto v = r.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformMeanIsPlausible) {
+  Rng r(99);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Trace, SinkCountsAndBytes) {
+  TraceSink sink;
+  Tracer tr(&sink);
+  tr.record(0, "qp0", "rdma_write", 1024);
+  tr.record(5, "qp0", "rdma_write", 2048);
+  tr.record(9, "qp0", "memcpy", 512);
+  EXPECT_EQ(sink.count("rdma_write"), 2u);
+  EXPECT_EQ(sink.total_bytes("rdma_write"), 3072);
+  EXPECT_EQ(sink.count("memcpy"), 1u);
+  Tracer off;
+  off.record(0, "x", "y");  // must be a safe no-op
+  EXPECT_FALSE(off.enabled());
+}
+
+}  // namespace
+}  // namespace sim
