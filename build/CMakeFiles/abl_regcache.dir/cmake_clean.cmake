@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_regcache.dir/bench/abl_regcache.cpp.o"
+  "CMakeFiles/abl_regcache.dir/bench/abl_regcache.cpp.o.d"
+  "bench/abl_regcache"
+  "bench/abl_regcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tail_update.dir/bench/abl_tail_update.cpp.o"
+  "CMakeFiles/abl_tail_update.dir/bench/abl_tail_update.cpp.o.d"
+  "bench/abl_tail_update"
+  "bench/abl_tail_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tail_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

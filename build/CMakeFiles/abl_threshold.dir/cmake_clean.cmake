@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_threshold.dir/bench/abl_threshold.cpp.o"
+  "CMakeFiles/abl_threshold.dir/bench/abl_threshold.cpp.o.d"
+  "bench/abl_threshold"
+  "bench/abl_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

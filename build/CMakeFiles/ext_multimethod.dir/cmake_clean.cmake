@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multimethod.dir/bench/ext_multimethod.cpp.o"
+  "CMakeFiles/ext_multimethod.dir/bench/ext_multimethod.cpp.o.d"
+  "bench/ext_multimethod"
+  "bench/ext_multimethod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multimethod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_onesided.dir/bench/ext_onesided.cpp.o"
+  "CMakeFiles/ext_onesided.dir/bench/ext_onesided.cpp.o.d"
+  "bench/ext_onesided"
+  "bench/ext_onesided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_onesided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

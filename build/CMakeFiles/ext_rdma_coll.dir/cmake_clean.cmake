@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rdma_coll.dir/bench/ext_rdma_coll.cpp.o"
+  "CMakeFiles/ext_rdma_coll.dir/bench/ext_rdma_coll.cpp.o.d"
+  "bench/ext_rdma_coll"
+  "bench/ext_rdma_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rdma_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_05_basic.dir/bench/fig04_05_basic.cpp.o"
+  "CMakeFiles/fig04_05_basic.dir/bench/fig04_05_basic.cpp.o.d"
+  "bench/fig04_05_basic"
+  "bench/fig04_05_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_05_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_piggyback.dir/bench/fig06_07_piggyback.cpp.o"
+  "CMakeFiles/fig06_07_piggyback.dir/bench/fig06_07_piggyback.cpp.o.d"
+  "bench/fig06_07_piggyback"
+  "bench/fig06_07_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pipeline.dir/bench/fig08_pipeline.cpp.o"
+  "CMakeFiles/fig08_pipeline.dir/bench/fig08_pipeline.cpp.o.d"
+  "bench/fig08_pipeline"
+  "bench/fig08_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_chunk_sweep.dir/bench/fig09_chunk_sweep.cpp.o"
+  "CMakeFiles/fig09_chunk_sweep.dir/bench/fig09_chunk_sweep.cpp.o.d"
+  "bench/fig09_chunk_sweep"
+  "bench/fig09_chunk_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_chunk_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_zerocopy.dir/bench/fig11_zerocopy.cpp.o"
+  "CMakeFiles/fig11_zerocopy.dir/bench/fig11_zerocopy.cpp.o.d"
+  "bench/fig11_zerocopy"
+  "bench/fig11_zerocopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_zerocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_14_ch3_vs_rdma.dir/bench/fig13_14_ch3_vs_rdma.cpp.o"
+  "CMakeFiles/fig13_14_ch3_vs_rdma.dir/bench/fig13_14_ch3_vs_rdma.cpp.o.d"
+  "bench/fig13_14_ch3_vs_rdma"
+  "bench/fig13_14_ch3_vs_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_ch3_vs_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_14_ch3_vs_rdma.
+# This may be replaced when dependencies are built.

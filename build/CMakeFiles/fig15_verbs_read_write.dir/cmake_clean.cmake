@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_verbs_read_write.dir/bench/fig15_verbs_read_write.cpp.o"
+  "CMakeFiles/fig15_verbs_read_write.dir/bench/fig15_verbs_read_write.cpp.o.d"
+  "bench/fig15_verbs_read_write"
+  "bench/fig15_verbs_read_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_verbs_read_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_nas_a4.dir/bench/fig16_nas_a4.cpp.o"
+  "CMakeFiles/fig16_nas_a4.dir/bench/fig16_nas_a4.cpp.o.d"
+  "bench/fig16_nas_a4"
+  "bench/fig16_nas_a4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_nas_a4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_nas_a4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_nas_b8.dir/bench/fig17_nas_b8.cpp.o"
+  "CMakeFiles/fig17_nas_b8.dir/bench/fig17_nas_b8.cpp.o.d"
+  "bench/fig17_nas_b8"
+  "bench/fig17_nas_b8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_nas_b8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_nas_b8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_nas_b8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_components.dir/bench/gb_components.cpp.o"
+  "CMakeFiles/gb_components.dir/bench/gb_components.cpp.o.d"
+  "bench/gb_components"
+  "bench/gb_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

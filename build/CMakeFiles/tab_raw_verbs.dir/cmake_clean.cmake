@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_raw_verbs.dir/bench/tab_raw_verbs.cpp.o"
+  "CMakeFiles/tab_raw_verbs.dir/bench/tab_raw_verbs.cpp.o.d"
+  "bench/tab_raw_verbs"
+  "bench/tab_raw_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_raw_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

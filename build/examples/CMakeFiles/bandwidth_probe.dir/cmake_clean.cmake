@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_probe.dir/bandwidth_probe.cpp.o"
+  "CMakeFiles/bandwidth_probe.dir/bandwidth_probe.cpp.o.d"
+  "bandwidth_probe"
+  "bandwidth_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

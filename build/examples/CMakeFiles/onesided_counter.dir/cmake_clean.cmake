@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesided_counter.dir/onesided_counter.cpp.o"
+  "CMakeFiles/onesided_counter.dir/onesided_counter.cpp.o.d"
+  "onesided_counter"
+  "onesided_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesided_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

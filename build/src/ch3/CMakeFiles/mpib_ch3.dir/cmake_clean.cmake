@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_ch3.dir/ch3.cpp.o"
+  "CMakeFiles/mpib_ch3.dir/ch3.cpp.o.d"
+  "CMakeFiles/mpib_ch3.dir/ib_direct_channel.cpp.o"
+  "CMakeFiles/mpib_ch3.dir/ib_direct_channel.cpp.o.d"
+  "CMakeFiles/mpib_ch3.dir/stream_mux.cpp.o"
+  "CMakeFiles/mpib_ch3.dir/stream_mux.cpp.o.d"
+  "libmpib_ch3.a"
+  "libmpib_ch3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_ch3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ib/fabric.cpp" "src/ib/CMakeFiles/mpib_ib.dir/fabric.cpp.o" "gcc" "src/ib/CMakeFiles/mpib_ib.dir/fabric.cpp.o.d"
+  "/root/repo/src/ib/hca.cpp" "src/ib/CMakeFiles/mpib_ib.dir/hca.cpp.o" "gcc" "src/ib/CMakeFiles/mpib_ib.dir/hca.cpp.o.d"
+  "/root/repo/src/ib/mr.cpp" "src/ib/CMakeFiles/mpib_ib.dir/mr.cpp.o" "gcc" "src/ib/CMakeFiles/mpib_ib.dir/mr.cpp.o.d"
+  "/root/repo/src/ib/node.cpp" "src/ib/CMakeFiles/mpib_ib.dir/node.cpp.o" "gcc" "src/ib/CMakeFiles/mpib_ib.dir/node.cpp.o.d"
+  "/root/repo/src/ib/qp.cpp" "src/ib/CMakeFiles/mpib_ib.dir/qp.cpp.o" "gcc" "src/ib/CMakeFiles/mpib_ib.dir/qp.cpp.o.d"
+  "/root/repo/src/ib/types.cpp" "src/ib/CMakeFiles/mpib_ib.dir/types.cpp.o" "gcc" "src/ib/CMakeFiles/mpib_ib.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mpib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

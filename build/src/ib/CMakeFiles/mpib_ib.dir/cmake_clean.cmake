@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_ib.dir/fabric.cpp.o"
+  "CMakeFiles/mpib_ib.dir/fabric.cpp.o.d"
+  "CMakeFiles/mpib_ib.dir/hca.cpp.o"
+  "CMakeFiles/mpib_ib.dir/hca.cpp.o.d"
+  "CMakeFiles/mpib_ib.dir/mr.cpp.o"
+  "CMakeFiles/mpib_ib.dir/mr.cpp.o.d"
+  "CMakeFiles/mpib_ib.dir/node.cpp.o"
+  "CMakeFiles/mpib_ib.dir/node.cpp.o.d"
+  "CMakeFiles/mpib_ib.dir/qp.cpp.o"
+  "CMakeFiles/mpib_ib.dir/qp.cpp.o.d"
+  "CMakeFiles/mpib_ib.dir/types.cpp.o"
+  "CMakeFiles/mpib_ib.dir/types.cpp.o.d"
+  "libmpib_ib.a"
+  "libmpib_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/mpib_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/mpib_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/mpib_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/mpib_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/mpib_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/mpib_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/engine.cpp" "src/mpi/CMakeFiles/mpib_mpi.dir/engine.cpp.o" "gcc" "src/mpi/CMakeFiles/mpib_mpi.dir/engine.cpp.o.d"
+  "/root/repo/src/mpi/rdma_coll.cpp" "src/mpi/CMakeFiles/mpib_mpi.dir/rdma_coll.cpp.o" "gcc" "src/mpi/CMakeFiles/mpib_mpi.dir/rdma_coll.cpp.o.d"
+  "/root/repo/src/mpi/reduce.cpp" "src/mpi/CMakeFiles/mpib_mpi.dir/reduce.cpp.o" "gcc" "src/mpi/CMakeFiles/mpib_mpi.dir/reduce.cpp.o.d"
+  "/root/repo/src/mpi/window.cpp" "src/mpi/CMakeFiles/mpib_mpi.dir/window.cpp.o" "gcc" "src/mpi/CMakeFiles/mpib_mpi.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ch3/CMakeFiles/mpib_ch3.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdmach/CMakeFiles/mpib_rdmach.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmi/CMakeFiles/mpib_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/mpib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

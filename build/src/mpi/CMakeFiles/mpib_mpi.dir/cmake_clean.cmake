@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/mpib_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/mpib_mpi.dir/comm.cpp.o"
+  "CMakeFiles/mpib_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/mpib_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/mpib_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/mpib_mpi.dir/engine.cpp.o"
+  "CMakeFiles/mpib_mpi.dir/engine.cpp.o.d"
+  "CMakeFiles/mpib_mpi.dir/rdma_coll.cpp.o"
+  "CMakeFiles/mpib_mpi.dir/rdma_coll.cpp.o.d"
+  "CMakeFiles/mpib_mpi.dir/reduce.cpp.o"
+  "CMakeFiles/mpib_mpi.dir/reduce.cpp.o.d"
+  "CMakeFiles/mpib_mpi.dir/window.cpp.o"
+  "CMakeFiles/mpib_mpi.dir/window.cpp.o.d"
+  "libmpib_mpi.a"
+  "libmpib_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

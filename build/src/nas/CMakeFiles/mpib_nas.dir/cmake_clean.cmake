@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_nas.dir/bt.cpp.o"
+  "CMakeFiles/mpib_nas.dir/bt.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/cg.cpp.o"
+  "CMakeFiles/mpib_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/ep.cpp.o"
+  "CMakeFiles/mpib_nas.dir/ep.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/ft.cpp.o"
+  "CMakeFiles/mpib_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/is.cpp.o"
+  "CMakeFiles/mpib_nas.dir/is.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/lu.cpp.o"
+  "CMakeFiles/mpib_nas.dir/lu.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/mg.cpp.o"
+  "CMakeFiles/mpib_nas.dir/mg.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/nas.cpp.o"
+  "CMakeFiles/mpib_nas.dir/nas.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/nas_random.cpp.o"
+  "CMakeFiles/mpib_nas.dir/nas_random.cpp.o.d"
+  "CMakeFiles/mpib_nas.dir/sp.cpp.o"
+  "CMakeFiles/mpib_nas.dir/sp.cpp.o.d"
+  "libmpib_nas.a"
+  "libmpib_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

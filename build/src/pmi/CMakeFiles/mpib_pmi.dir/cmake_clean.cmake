@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_pmi.dir/pmi.cpp.o"
+  "CMakeFiles/mpib_pmi.dir/pmi.cpp.o.d"
+  "libmpib_pmi.a"
+  "libmpib_pmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_pmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpib_pmi.
+# This may be replaced when dependencies are built.

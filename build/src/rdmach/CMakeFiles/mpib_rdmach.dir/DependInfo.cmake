@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdmach/basic_channel.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/basic_channel.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/basic_channel.cpp.o.d"
+  "/root/repo/src/rdmach/channel.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/channel.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/channel.cpp.o.d"
+  "/root/repo/src/rdmach/multi_method_channel.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/multi_method_channel.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/multi_method_channel.cpp.o.d"
+  "/root/repo/src/rdmach/piggyback_channel.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/piggyback_channel.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/piggyback_channel.cpp.o.d"
+  "/root/repo/src/rdmach/reg_cache.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/reg_cache.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/reg_cache.cpp.o.d"
+  "/root/repo/src/rdmach/shm_channel.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/shm_channel.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/shm_channel.cpp.o.d"
+  "/root/repo/src/rdmach/verbs_base.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/verbs_base.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/verbs_base.cpp.o.d"
+  "/root/repo/src/rdmach/zerocopy_channel.cpp" "src/rdmach/CMakeFiles/mpib_rdmach.dir/zerocopy_channel.cpp.o" "gcc" "src/rdmach/CMakeFiles/mpib_rdmach.dir/zerocopy_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ib/CMakeFiles/mpib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmi/CMakeFiles/mpib_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_rdmach.dir/basic_channel.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/basic_channel.cpp.o.d"
+  "CMakeFiles/mpib_rdmach.dir/channel.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/channel.cpp.o.d"
+  "CMakeFiles/mpib_rdmach.dir/multi_method_channel.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/multi_method_channel.cpp.o.d"
+  "CMakeFiles/mpib_rdmach.dir/piggyback_channel.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/piggyback_channel.cpp.o.d"
+  "CMakeFiles/mpib_rdmach.dir/reg_cache.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/reg_cache.cpp.o.d"
+  "CMakeFiles/mpib_rdmach.dir/shm_channel.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/shm_channel.cpp.o.d"
+  "CMakeFiles/mpib_rdmach.dir/verbs_base.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/verbs_base.cpp.o.d"
+  "CMakeFiles/mpib_rdmach.dir/zerocopy_channel.cpp.o"
+  "CMakeFiles/mpib_rdmach.dir/zerocopy_channel.cpp.o.d"
+  "libmpib_rdmach.a"
+  "libmpib_rdmach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_rdmach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpib_rdmach.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_sdp.dir/sdp.cpp.o"
+  "CMakeFiles/mpib_sdp.dir/sdp.cpp.o.d"
+  "libmpib_sdp.a"
+  "libmpib_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

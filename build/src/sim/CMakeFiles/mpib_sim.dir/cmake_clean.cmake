@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpib_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mpib_sim.dir/simulator.cpp.o.d"
+  "libmpib_sim.a"
+  "libmpib_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpib_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

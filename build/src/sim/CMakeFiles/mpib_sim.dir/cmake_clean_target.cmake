@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpib_sim.a"
+)

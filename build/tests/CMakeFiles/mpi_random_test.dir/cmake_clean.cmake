@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_random_test.dir/mpi_random_test.cpp.o"
+  "CMakeFiles/mpi_random_test.dir/mpi_random_test.cpp.o.d"
+  "mpi_random_test"
+  "mpi_random_test.pdb"
+  "mpi_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimethod_test.dir/multimethod_test.cpp.o"
+  "CMakeFiles/multimethod_test.dir/multimethod_test.cpp.o.d"
+  "multimethod_test"
+  "multimethod_test.pdb"
+  "multimethod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimethod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

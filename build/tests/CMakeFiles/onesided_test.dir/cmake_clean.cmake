@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesided_test.dir/onesided_test.cpp.o"
+  "CMakeFiles/onesided_test.dir/onesided_test.cpp.o.d"
+  "onesided_test"
+  "onesided_test.pdb"
+  "onesided_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

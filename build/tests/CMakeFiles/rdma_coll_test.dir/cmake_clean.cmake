@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_coll_test.dir/rdma_coll_test.cpp.o"
+  "CMakeFiles/rdma_coll_test.dir/rdma_coll_test.cpp.o.d"
+  "rdma_coll_test"
+  "rdma_coll_test.pdb"
+  "rdma_coll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_coll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

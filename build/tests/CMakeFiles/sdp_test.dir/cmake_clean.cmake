@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdp_test.dir/sdp_test.cpp.o"
+  "CMakeFiles/sdp_test.dir/sdp_test.cpp.o.d"
+  "sdp_test"
+  "sdp_test.pdb"
+  "sdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
