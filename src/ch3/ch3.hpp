@@ -26,12 +26,29 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "ch3/packet.hpp"
 #include "rdmach/channel.hpp"
 #include "sim/task.hpp"
 
 namespace ch3 {
+
+/// Fatal failure of one virtual connection: the underlying channel
+/// declared the peer unreachable (recovery budget exhausted).  Recoverable
+/// transport errors never surface at CH3 -- the channel heals them
+/// internally; what reaches here is final, and names the peer so the
+/// engine (or the application) can fence it off.
+class VcError : public std::runtime_error {
+ public:
+  VcError(int peer, const std::string& what)
+      : std::runtime_error(what), peer_(peer) {}
+  int peer() const noexcept { return peer_; }
+
+ private:
+  int peer_;
+};
 
 /// Where an eager payload must be placed (matched user buffer or an
 /// engine-owned temporary), plus an engine cookie identifying the message.

@@ -37,8 +37,14 @@ sim::Task<bool> StreamMux::progress_send(int peer, Vc& vc) {
       const std::size_t off = m.sent - hdr_size;
       iovs[n_iovs++] = rdmach::ConstIov(m.payload + off, m.len - off);
     }
-    const std::size_t k = co_await ch_->put(
-        ch_->connection(peer), std::span<const rdmach::ConstIov>(iovs, n_iovs));
+    std::size_t k = 0;
+    try {
+      k = co_await ch_->put(ch_->connection(peer),
+                            std::span<const rdmach::ConstIov>(iovs, n_iovs));
+    } catch (const rdmach::ChannelError& e) {
+      throw VcError(peer, "vc to rank " + std::to_string(peer) +
+                              " failed: " + e.what());
+    }
     m.sent += k;
     moved |= k > 0;
     if (m.sent < hdr_size + m.len) break;  // pipe full / rendezvous pending
@@ -53,8 +59,14 @@ sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
   rdmach::Connection& conn = ch_->connection(peer);
   for (;;) {
     if (!vc.in_payload) {
-      const std::size_t k = co_await ch_->get(
-          conn, vc.hdr_buf + vc.hdr_got, sizeof(PktHeader) - vc.hdr_got);
+      std::size_t k = 0;
+      try {
+        k = co_await ch_->get(conn, vc.hdr_buf + vc.hdr_got,
+                              sizeof(PktHeader) - vc.hdr_got);
+      } catch (const rdmach::ChannelError& e) {
+        throw VcError(peer, "vc to rank " + std::to_string(peer) +
+                                " failed: " + e.what());
+      }
       vc.hdr_got += k;
       moved |= k > 0;
       if (vc.hdr_got < sizeof(PktHeader)) break;
@@ -74,8 +86,13 @@ sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
       vc.in_payload = true;
     }
     const std::size_t want = vc.rhdr.match.length - vc.payload_got;
-    const std::size_t k =
-        co_await ch_->get(conn, vc.sink.dst + vc.payload_got, want);
+    std::size_t k = 0;
+    try {
+      k = co_await ch_->get(conn, vc.sink.dst + vc.payload_got, want);
+    } catch (const rdmach::ChannelError& e) {
+      throw VcError(peer, "vc to rank " + std::to_string(peer) +
+                              " failed: " + e.what());
+    }
     vc.payload_got += k;
     moved |= k > 0;
     if (vc.payload_got < vc.rhdr.match.length) break;

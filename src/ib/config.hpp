@@ -75,12 +75,21 @@ struct FabricConfig {
   std::int64_t bus_chunk_bytes = 2048;
   /// Probability that one transmission attempt of a work request fails --
   /// 0 in all benchmarks; used by failure-injection tests.  The RC service
-  /// retransmits transparently (as real HCAs do): a WQE only completes
-  /// with kTransportError after `retry_count` consecutive failures.
+  /// retransmits transparently (as real HCAs do): after a failed initial
+  /// attempt the HCA retries up to `retry_count` times (one "retransmit"
+  /// trace record and one `retry_delay` each), and the WQE completes with
+  /// kTransportError only when all retry_count + 1 consecutive attempts
+  /// fail.  With retry_count = 0 every attempt failure surfaces directly.
+  /// The error CQE lags the final attempt by the NAK round trip
+  /// (2 * wire_latency).  Pinned by Inject.RetryStormTimingMatchesDoc.
   double inject_error_rate = 0.0;
   std::uint64_t inject_seed = 1;
   int retry_count = 7;
   sim::Tick retry_delay = sim::usec(10.0);
+  /// HCA pin-down limit: total bytes register_memory may have outstanding
+  /// per protection domain before it fails with RegistrationError (real
+  /// HCAs run out of translation/pinning resources).  0 = unlimited.
+  std::int64_t max_registered_bytes = 0;
 
   sim::Tick reg_cost(std::int64_t bytes) const {
     const std::int64_t pages = (bytes + page_bytes - 1) / page_bytes;

@@ -11,6 +11,7 @@
 
 #include "ib/config.hpp"
 #include "ib/node.hpp"
+#include "sim/fault.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -40,6 +41,12 @@ class Fabric {
   void attach_tracer(sim::TraceSink* sink) { tracer_.attach(sink); }
   const sim::Tracer& tracer() const noexcept { return tracer_; }
 
+  /// Deterministic fault injection (like the tracer: nullable, test-owned).
+  /// QP send engines consult the schedule once per processed WQE, scoped by
+  /// the initiating node's name.
+  void attach_faults(sim::FaultSchedule* faults) { faults_ = faults; }
+  sim::FaultSchedule* faults() const noexcept { return faults_; }
+
   std::uint32_t next_key() noexcept { return ++key_counter_; }
   std::uint32_t next_qpn() noexcept { return ++qpn_counter_; }
 
@@ -63,6 +70,7 @@ class Fabric {
   sim::Simulator* sim_;
   FabricConfig cfg_;
   sim::Tracer tracer_;
+  sim::FaultSchedule* faults_ = nullptr;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::uint32_t, QueuePair*> qp_dir_;

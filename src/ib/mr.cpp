@@ -12,6 +12,16 @@ sim::Task<MemoryRegion*> ProtectionDomain::register_memory(
     throw VerbsError("register_memory: empty region");
   }
   Fabric& fabric = hca_->fabric();
+  const std::int64_t limit = fabric.cfg().max_registered_bytes;
+  if (limit > 0 &&
+      registered_bytes_ + static_cast<std::int64_t>(length) > limit) {
+    // Fail fast, before pinning work is charged (the hardware rejects the
+    // request at translation-table allocation time).
+    throw RegistrationError("register_memory: pin-down limit exceeded (" +
+                            std::to_string(registered_bytes_) + " + " +
+                            std::to_string(length) + " > " +
+                            std::to_string(limit) + " bytes)");
+  }
   co_await hca_->node().compute(
       fabric.cfg().reg_cost(static_cast<std::int64_t>(length)));
   const std::uint32_t lkey = fabric.next_key();

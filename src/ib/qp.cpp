@@ -51,7 +51,9 @@ QueuePair::QueuePair(Hca& hca, ProtectionDomain& pd, CompletionQueue& send_cq,
       sq_(std::make_unique<sim::Mailbox<SendWr>>(hca.fabric().sim())),
       responder_q_(
           std::make_unique<sim::Mailbox<ReadRequest>>(hca.fabric().sim())),
-      read_credit_(std::make_unique<sim::Trigger>(hca.fabric().sim())) {}
+      read_credit_(std::make_unique<sim::Trigger>(hca.fabric().sim())),
+      quiesce_(std::make_unique<sim::Trigger>(hca.fabric().sim())),
+      connected_(std::make_unique<sim::Trigger>(hca.fabric().sim())) {}
 
 Node& QueuePair::node() const { return hca_->node(); }
 
@@ -71,6 +73,27 @@ void QueuePair::connect(QueuePair& peer) {
   sim.spawn_daemon(responder_engine(), tag + ".responder");
   sim.spawn_daemon(peer.send_engine(), peer_tag + ".send");
   sim.spawn_daemon(peer.responder_engine(), peer_tag + ".responder");
+  connected_->fire();
+  peer.connected_->fire();
+}
+
+sim::Task<void> QueuePair::wait_connected() {
+  co_await sim::wait_until(*connected_, [this] { return peer_ != nullptr; });
+}
+
+sim::Task<void> QueuePair::quiesce() {
+  co_await sim::wait_until(*quiesce_, [this] {
+    return !busy_ && sq_->empty() && inflight_deliveries_ == 0 &&
+           reads_in_flight_ == 0;
+  });
+}
+
+void QueuePair::reset() {
+  if (busy_ || !sq_->empty() || inflight_deliveries_ != 0 ||
+      reads_in_flight_ != 0) {
+    throw VerbsError("reset: QP not quiesced");
+  }
+  error_ = false;
 }
 
 void QueuePair::post_send(SendWr wr) {
@@ -150,6 +173,7 @@ void QueuePair::enter_error() { error_ = true; }
 void QueuePair::read_done() {
   --reads_in_flight_;
   read_credit_->fire();
+  quiesce_->fire();
 }
 
 void QueuePair::deliver_send(InboundSend inbound) {
@@ -172,146 +196,183 @@ void QueuePair::deliver_send(InboundSend inbound) {
 }
 
 sim::Task<void> QueuePair::send_engine() {
+  for (;;) {
+    SendWr wr = co_await sq_->pop();
+    busy_ = true;
+    co_await process_wqe(std::move(wr));
+    busy_ = false;
+    quiesce_->fire();
+  }
+}
+
+sim::Task<void> QueuePair::process_wqe(SendWr wr) {
   Fabric& fabric = hca_->fabric();
   sim::Simulator& sim = fabric.sim();
   const FabricConfig& cfg = fabric.cfg();
   const std::string tag = node().name() + ".qp" + std::to_string(qp_num_);
+  const std::size_t n = wr.total_length();
 
-  for (;;) {
-    SendWr wr = co_await sq_->pop();
-    const std::size_t n = wr.total_length();
+  if (error_) {
+    complete_now(*send_cq_, Wc{wr.wr_id, WcStatus::kFlushError, wr.opcode, 0,
+                               qp_num_, false});
+    co_return;
+  }
 
-    if (error_) {
-      complete_now(*send_cq_, Wc{wr.wr_id, WcStatus::kFlushError, wr.opcode, 0,
-                                 qp_num_, false});
-      continue;
+  co_await sim.delay(cfg.wqe_overhead);
+
+  if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
+    if (auto f = faults->check(node().name())) {
+      // Deterministic kill: model the full RC retry storm before the HCA
+      // gives up, then report the transport error a NAK round trip later.
+      // A fatal fault also moves the QP to the error state, as real retry
+      // exhaustion does (the random-injection path below deliberately does
+      // not -- see Inject.ExhaustedRetriesSurfaceAsTransportErrors).
+      fabric.tracer().record(sim.now(), tag, "fault_kill",
+                             static_cast<std::int64_t>(n), wr.wr_id);
+      co_await sim.delay(cfg.retry_count * cfg.retry_delay);
+      if (f->fatal) enter_error();
+      complete(*send_cq_,
+               Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0, qp_num_,
+                  false},
+               sim.now() + 2 * cfg.wire_latency);
+      co_return;
     }
+  }
 
-    co_await sim.delay(cfg.wqe_overhead);
-
-    if (cfg.inject_error_rate > 0.0) {
-      // The RC service retransmits failed attempts transparently; only a
-      // retry-count exhaustion surfaces as a completion error.
-      bool exhausted = false;
-      int attempts = 0;
-      while (fabric.rng().chance(cfg.inject_error_rate)) {
-        if (++attempts > cfg.retry_count) {
-          exhausted = true;
-          break;
-        }
-        fabric.tracer().record(sim.now(), tag, "retransmit", 0, wr.wr_id);
-        co_await sim.delay(cfg.retry_delay);
+  if (cfg.inject_error_rate > 0.0) {
+    // The RC service retransmits failed attempts transparently; only a
+    // retry-count exhaustion surfaces as a completion error.
+    bool exhausted = false;
+    int attempts = 0;
+    while (fabric.rng().chance(cfg.inject_error_rate)) {
+      if (++attempts > cfg.retry_count) {
+        exhausted = true;
+        break;
       }
-      if (exhausted) {
+      fabric.tracer().record(sim.now(), tag, "retransmit", 0, wr.wr_id);
+      co_await sim.delay(cfg.retry_delay);
+    }
+    if (exhausted) {
+      complete(*send_cq_,
+               Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0,
+                  qp_num_, false},
+               sim.now() + 2 * cfg.wire_latency);
+      co_return;
+    }
+  }
+
+  const std::uint32_t need =
+      wr.opcode == Opcode::kRdmaWrite || wr.opcode == Opcode::kSend
+          ? 0u
+          : static_cast<std::uint32_t>(kLocalWrite);
+  if (!validate_local(wr.sgl, need, wr.wr_id, wr.opcode)) {
+    co_return;
+  }
+
+  switch (wr.opcode) {
+    case Opcode::kRdmaWrite: {
+      const MemoryRegion* mr = peer_->pd().find_rkey(wr.rkey);
+      if (mr == nullptr || !mr->contains(wr.remote_addr, n) ||
+          (mr->access() & kRemoteWrite) == 0) {
+        // The initiator learns of the NAK a round trip later.
         complete(*send_cq_,
-                 Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0,
+                 Wc{wr.wr_id, WcStatus::kRemoteAccessError, wr.opcode, 0,
                     qp_num_, false},
                  sim.now() + 2 * cfg.wire_latency);
-        continue;
+        enter_error();
+        break;
       }
+      fabric.tracer().record(sim.now(), tag, "rdma_write",
+                             static_cast<std::int64_t>(n), wr.wr_id);
+      auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
+      const sim::Tick delivered = co_await fabric.book_path(
+          node(), peer_->node(), static_cast<std::int64_t>(n));
+      Node* dst_node = &peer_->node();
+      auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
+      ++inflight_deliveries_;
+      sim.call_at(delivered, [this, staging, dst, dst_node] {
+        std::memcpy(dst, staging->data(), staging->size());
+        dst_node->dma_arrival().fire();
+        --inflight_deliveries_;
+        quiesce_->fire();
+      });
+      if (wr.signaled) {
+        complete(*send_cq_,
+                 Wc{wr.wr_id, WcStatus::kSuccess, wr.opcode, n, qp_num_,
+                    false},
+                 delivered + cfg.ack_latency);
+      }
+      break;
     }
 
-    const std::uint32_t need =
-        wr.opcode == Opcode::kRdmaWrite || wr.opcode == Opcode::kSend
-            ? 0u
-            : static_cast<std::uint32_t>(kLocalWrite);
-    if (!validate_local(wr.sgl, need, wr.wr_id, wr.opcode)) {
-      continue;
+    case Opcode::kSend: {
+      fabric.tracer().record(sim.now(), tag, "send",
+                             static_cast<std::int64_t>(n), wr.wr_id);
+      auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
+      const sim::Tick delivered = co_await fabric.book_path(
+          node(), peer_->node(), static_cast<std::int64_t>(n));
+      QueuePair* peer = peer_;
+      ++inflight_deliveries_;
+      sim.call_at(delivered, [this, staging, peer] {
+        peer->deliver_send(InboundSend{std::move(*staging)});
+        peer->node().dma_arrival().fire();
+        --inflight_deliveries_;
+        quiesce_->fire();
+      });
+      if (wr.signaled) {
+        complete(*send_cq_,
+                 Wc{wr.wr_id, WcStatus::kSuccess, wr.opcode, n, qp_num_,
+                    false},
+                 delivered + cfg.ack_latency);
+      }
+      break;
     }
 
-    switch (wr.opcode) {
-      case Opcode::kRdmaWrite: {
-        const MemoryRegion* mr = peer_->pd().find_rkey(wr.rkey);
-        if (mr == nullptr || !mr->contains(wr.remote_addr, n) ||
-            (mr->access() & kRemoteWrite) == 0) {
-          // The initiator learns of the NAK a round trip later.
-          complete(*send_cq_,
-                   Wc{wr.wr_id, WcStatus::kRemoteAccessError, wr.opcode, 0,
-                      qp_num_, false},
-                   sim.now() + 2 * cfg.wire_latency);
-          enter_error();
-          break;
-        }
-        fabric.tracer().record(sim.now(), tag, "rdma_write",
-                               static_cast<std::int64_t>(n), wr.wr_id);
-        auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
-        const sim::Tick delivered = co_await fabric.book_path(
-            node(), peer_->node(), static_cast<std::int64_t>(n));
-        Node* dst_node = &peer_->node();
-        auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
-        sim.call_at(delivered, [staging, dst, dst_node] {
-          std::memcpy(dst, staging->data(), staging->size());
-          dst_node->dma_arrival().fire();
-        });
-        if (wr.signaled) {
-          complete(*send_cq_,
-                   Wc{wr.wr_id, WcStatus::kSuccess, wr.opcode, n, qp_num_,
-                      false},
-                   delivered + cfg.ack_latency);
-        }
+    case Opcode::kRdmaRead:
+    case Opcode::kFetchAdd:
+    case Opcode::kCompareSwap: {
+      const bool is_atomic = wr.opcode != Opcode::kRdmaRead;
+      const std::uint32_t need =
+          is_atomic ? static_cast<std::uint32_t>(kRemoteAtomic)
+                    : static_cast<std::uint32_t>(kRemoteRead);
+      const MemoryRegion* mr = peer_->pd().find_rkey(wr.rkey);
+      if (mr == nullptr || !mr->contains(wr.remote_addr, n) ||
+          (mr->access() & need) == 0 || (is_atomic && n != 8)) {
+        complete(*send_cq_,
+                 Wc{wr.wr_id, WcStatus::kRemoteAccessError, wr.opcode, 0,
+                    qp_num_, false},
+                 sim.now() + 2 * cfg.wire_latency);
+        enter_error();
         break;
       }
-
-      case Opcode::kSend: {
-        fabric.tracer().record(sim.now(), tag, "send",
-                               static_cast<std::int64_t>(n), wr.wr_id);
-        auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
-        const sim::Tick delivered = co_await fabric.book_path(
-            node(), peer_->node(), static_cast<std::int64_t>(n));
-        QueuePair* peer = peer_;
-        sim.call_at(delivered, [staging, peer] {
-          peer->deliver_send(InboundSend{std::move(*staging)});
-          peer->node().dma_arrival().fire();
-        });
-        if (wr.signaled) {
-          complete(*send_cq_,
-                   Wc{wr.wr_id, WcStatus::kSuccess, wr.opcode, n, qp_num_,
-                      false},
-                   delivered + cfg.ack_latency);
-        }
+      fabric.tracer().record(sim.now(), tag,
+                             is_atomic ? "atomic" : "rdma_read",
+                             static_cast<std::int64_t>(n), wr.wr_id);
+      // Atomics share the outstanding-read context limit (Figure 15's
+      // cause for reads; the same HCA resource serves both).
+      co_await sim::wait_until(*read_credit_, [this, &cfg] {
+        return reads_in_flight_ < cfg.max_outstanding_reads;
+      });
+      if (error_) {
+        // The QP was torn down while this WQE waited for a read context.
+        complete_now(*send_cq_, Wc{wr.wr_id, WcStatus::kFlushError, wr.opcode,
+                                   0, qp_num_, false});
         break;
       }
-
-      case Opcode::kRdmaRead:
-      case Opcode::kFetchAdd:
-      case Opcode::kCompareSwap: {
-        const bool is_atomic = wr.opcode != Opcode::kRdmaRead;
-        const std::uint32_t need =
-            is_atomic ? static_cast<std::uint32_t>(kRemoteAtomic)
-                      : static_cast<std::uint32_t>(kRemoteRead);
-        const MemoryRegion* mr = peer_->pd().find_rkey(wr.rkey);
-        if (mr == nullptr || !mr->contains(wr.remote_addr, n) ||
-            (mr->access() & need) == 0 || (is_atomic && n != 8)) {
-          complete(*send_cq_,
-                   Wc{wr.wr_id, WcStatus::kRemoteAccessError, wr.opcode, 0,
-                      qp_num_, false},
-                   sim.now() + 2 * cfg.wire_latency);
-          enter_error();
-          break;
-        }
-        fabric.tracer().record(sim.now(), tag,
-                               is_atomic ? "atomic" : "rdma_read",
-                               static_cast<std::int64_t>(n), wr.wr_id);
-        // Atomics share the outstanding-read context limit (Figure 15's
-        // cause for reads; the same HCA resource serves both).
-        co_await sim::wait_until(*read_credit_, [this, &cfg] {
-          return reads_in_flight_ < cfg.max_outstanding_reads;
-        });
-        ++reads_in_flight_;
-        // Ship the request packet to the responder.
-        const sim::Tick req_sent =
-            hca_->tx_link().reserve(kCtrlBytes + (is_atomic ? 16 : 0));
-        co_await sim.delay_until(req_sent);
-        const sim::Tick req_arrives = sim.now() + cfg.wire_latency;
-        QueuePair* peer = peer_;
-        ReadRequest req{wr.opcode, wr.remote_addr, wr.rkey,    wr.sgl,
-                        wr.wr_id,  wr.signaled,    wr.atomic_arg,
-                        wr.atomic_swap};
-        sim.call_at(req_arrives, [peer, req = std::move(req)]() mutable {
-          peer->responder_q_->push(std::move(req));
-        });
-        break;
-      }
+      ++reads_in_flight_;
+      // Ship the request packet to the responder.
+      const sim::Tick req_sent =
+          hca_->tx_link().reserve(kCtrlBytes + (is_atomic ? 16 : 0));
+      co_await sim.delay_until(req_sent);
+      const sim::Tick req_arrives = sim.now() + cfg.wire_latency;
+      QueuePair* peer = peer_;
+      ReadRequest req{wr.opcode, wr.remote_addr, wr.rkey,    wr.sgl,
+                      wr.wr_id,  wr.signaled,    wr.atomic_arg,
+                      wr.atomic_swap};
+      sim.call_at(req_arrives, [peer, req = std::move(req)]() mutable {
+        peer->responder_q_->push(std::move(req));
+      });
+      break;
     }
   }
 }

@@ -25,7 +25,16 @@
 //
 // A protection failure completes the WQE with an error status and moves the
 // QP to the error state; subsequently posted WQEs complete with
-// kFlushError, mirroring RC error semantics.
+// kFlushError *in post order*, mirroring RC error semantics.  close() moves
+// the QP to the error state administratively (connection teardown);
+// quiesce() then awaits local drain (no WQE mid-processing, no outbound
+// delivery in flight, no outstanding read) so a recovery layer can replay
+// state onto a fresh QP without stale DMA overtaking it; reset() returns a
+// drained error-state QP to service (the modify_qp ERR->RESET->...->RTS
+// path).  A deterministic sim::FaultSchedule attached to the fabric can
+// kill specific WQEs: the victim completes with kTransportError after the
+// full modelled retry storm and (for fatal faults) the QP enters the error
+// state, exactly like real RC retry exhaustion.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +64,26 @@ class QueuePair {
   /// Establishes the reliable connection between this QP and `peer`
   /// (both directions) and starts the processing engines.  Call once.
   void connect(QueuePair& peer);
+
+  /// Blocks until connect() has been called (on either side).  Recovery
+  /// re-handshakes use this on the rank that does not own the connect call.
+  sim::Task<void> wait_connected();
+
+  /// Administratively moves the QP to the error state (connection
+  /// teardown): subsequently posted WQEs flush; WQEs already being
+  /// processed finish or error on their own.
+  void close() { enter_error(); }
+
+  /// Awaits local quiescence: no WQE mid-processing, send queue empty, all
+  /// outbound deliveries landed, no outstanding reads.  After close() +
+  /// quiesce(), nothing from this QP can touch peer memory later -- the
+  /// precondition for replaying ring state onto a replacement QP.
+  sim::Task<void> quiesce();
+
+  /// Returns a drained error-state QP to service, keeping the peer binding
+  /// (models modify_qp ERR->RESET->INIT->RTR->RTS on both ends).  Throws
+  /// VerbsError unless the QP is locally quiescent.
+  void reset();
 
   /// Posts a send-queue descriptor (send / RDMA write / RDMA read).
   /// Non-blocking and free of virtual time, like ringing a doorbell.
@@ -94,6 +123,9 @@ class QueuePair {
   };
 
   sim::Task<void> send_engine();
+  /// One send-queue WQE, in order (factored out of send_engine so the
+  /// engine can maintain the busy_ flag across every early exit).
+  sim::Task<void> process_wqe(SendWr wr);
   sim::Task<void> responder_engine();
 
   void complete(CompletionQueue& cq, const Wc& wc, sim::Tick at);
@@ -116,6 +148,10 @@ class QueuePair {
   std::unique_ptr<sim::Mailbox<SendWr>> sq_;
   std::unique_ptr<sim::Mailbox<ReadRequest>> responder_q_;
   std::unique_ptr<sim::Trigger> read_credit_;
+  std::unique_ptr<sim::Trigger> quiesce_;    // fired whenever work drains
+  std::unique_ptr<sim::Trigger> connected_;  // fired by connect()
+  bool busy_ = false;             // send engine is mid-WQE
+  int inflight_deliveries_ = 0;   // outbound DMA placements not yet landed
   int reads_in_flight_ = 0;
   std::deque<RecvWr> rq_;
   std::deque<InboundSend> unclaimed_;  // arrived sends awaiting a recv WQE

@@ -102,4 +102,12 @@ class VerbsError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Thrown when register_memory cannot pin more memory (the per-PD
+/// FabricConfig::max_registered_bytes limit).  A runtime condition, not a
+/// programming error: callers such as the registration cache respond by
+/// evicting and retrying.
+class RegistrationError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 }  // namespace ib

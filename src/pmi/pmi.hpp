@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "ib/fabric.hpp"
@@ -47,6 +48,25 @@ class Kvs {
     co_return std::stoull(v);
   }
 
+  /// Blocks until `key` is published (returns its value) or `abort_key`
+  /// appears first (returns nullopt).  Recovery handshakes use this so a
+  /// rank waiting for its peer's half of an exchange is released when the
+  /// peer instead publishes a failure marker.
+  sim::Task<std::optional<std::string>> get_unless(std::string key,
+                                                   std::string abort_key) {
+    co_await sim::wait_until(published_, [this, &key, &abort_key] {
+      return entries_.count(key) > 0 || entries_.count(abort_key) > 0;
+    });
+    auto it = entries_.find(key);
+    if (it == entries_.end()) co_return std::nullopt;
+    co_return it->second;
+  }
+
+  /// Non-blocking probe (PMI_KVS_Get with an immediate-failure return):
+  /// recovery paths use it to check for a peer's "dead" marker without
+  /// committing to wait for it.
+  bool has(const std::string& key) const { return entries_.count(key) > 0; }
+
   std::size_t size() const noexcept { return entries_.size(); }
 
  private:
@@ -61,16 +81,26 @@ class Barrier {
       : released_(sim), participants_(participants) {}
 
   sim::Task<void> arrive() {
+    const std::uint64_t token = arrive_split();
+    co_await sim::wait_until(released_,
+                             [this, token] { return done(token); });
+  }
+
+  /// Split-phase arrival: registers this rank now and returns a token for
+  /// done().  Lets a rank keep servicing out-of-band work (e.g. connection
+  /// recovery handshakes during channel finalize) while slower ranks catch
+  /// up, instead of going deaf inside a blocking arrive().
+  std::uint64_t arrive_split() {
     const std::uint64_t my_gen = generation_;
     if (++arrived_ == participants_) {
       arrived_ = 0;
       ++generation_;
       released_.fire();
-      co_return;
     }
-    co_await sim::wait_until(released_,
-                             [this, my_gen] { return generation_ > my_gen; });
+    return my_gen;
   }
+
+  bool done(std::uint64_t token) const noexcept { return generation_ > token; }
 
  private:
   sim::Trigger released_;

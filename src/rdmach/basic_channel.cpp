@@ -8,6 +8,7 @@ sim::Task<std::size_t> BasicChannel::put(Connection& conn,
                                          std::span<const ConstIov> iovs) {
   auto& c = static_cast<VerbsConnection&>(conn);
   co_await call_overhead();
+  co_await maybe_recover(c);
 
   const std::size_t total = total_length(iovs);
   const std::uint64_t head = c.ctrl.head_master;
@@ -22,36 +23,47 @@ sim::Task<std::size_t> BasicChannel::put(Connection& conn,
   co_await copy_in(c, head, iovs, 0, n, total);
 
   // 2. RDMA-write the data (two writes if the region wraps the ring).
+  // 3. Wait for the data to be placed before exposing it via the head
+  //    pointer (conservative ordering; see header comment).  A transport
+  //    error recovers and re-posts: the staging copy is intact and the
+  //    offsets are unchanged, so the retry is idempotent.
   const std::size_t R = cfg_.ring_bytes;
   const std::size_t off = static_cast<std::size_t>(head % R);
   const std::size_t first = std::min(n, R - off);
-  const std::uint64_t wr_id = next_wr_id();
-  if (first < n) {
-    post_ring_write(c, off, first, off, /*signaled=*/false, next_wr_id());
-    post_ring_write(c, 0, n - first, 0, /*signaled=*/true, wr_id);
-  } else {
-    post_ring_write(c, off, first, off, /*signaled=*/true, wr_id);
+  for (;;) {
+    const std::uint64_t wr_id = next_wr_id();
+    if (first < n) {
+      post_ring_write(c, off, first, off, /*signaled=*/false, next_wr_id());
+      post_ring_write(c, 0, n - first, 0, /*signaled=*/true, wr_id);
+    } else {
+      post_ring_write(c, off, first, off, /*signaled=*/true, wr_id);
+    }
+    const ib::Wc wc = co_await await_completion(wr_id);
+    if (wc.status == ib::WcStatus::kSuccess) break;
+    co_await maybe_recover(c);
   }
-
-  // 3. Wait for the data to be placed before exposing it via the head
-  //    pointer (conservative ordering; see header comment).
-  (void)co_await await_completion(wr_id);
 
   // 4. Adjust the head and 5. RDMA-write the remote head replica.  The
   //    basic design conservatively completes this write too before
   //    returning, so back-to-back puts serialize with the wire -- the
-  //    behaviour behind the paper's 230 MB/s basic peak.
+  //    behaviour behind the paper's 230 MB/s basic peak.  Once the head
+  //    master is advanced the data region is covered by replay, so a
+  //    failure here recovers (which rewrites data + head) and retries.
   c.ctrl.head_master = head + n;
-  const std::uint64_t head_wr = next_wr_id();
-  c.qp->post_send(ib::SendWr{
-      head_wr,
-      ib::Opcode::kRdmaWrite,
-      {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlHeadMasterOff, 8,
-               c.ctrl_mr->lkey()}},
-      c.r_ctrl_addr + kCtrlHeadReplicaOff,
-      c.r_ctrl_rkey,
-      /*signaled=*/true});
-  (void)co_await await_completion(head_wr);
+  for (;;) {
+    const std::uint64_t head_wr = next_wr_id();
+    c.qp->post_send(ib::SendWr{
+        head_wr,
+        ib::Opcode::kRdmaWrite,
+        {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlHeadMasterOff, 8,
+                 c.ctrl_mr->lkey()}},
+        c.r_ctrl_addr + kCtrlHeadReplicaOff,
+        c.r_ctrl_rkey,
+        /*signaled=*/true});
+    const ib::Wc wc = co_await await_completion(head_wr);
+    if (wc.status == ib::WcStatus::kSuccess) break;
+    co_await maybe_recover(c);
+  }
 
   // 6. Return the number of bytes written.
   co_return n;
@@ -61,6 +73,7 @@ sim::Task<std::size_t> BasicChannel::get(Connection& conn,
                                          std::span<const Iov> iovs) {
   auto& c = static_cast<VerbsConnection&>(conn);
   co_await call_overhead();
+  co_await maybe_recover(c);
 
   // 1. Check local replicas for new data.
   const std::uint64_t head = c.ctrl.head_replica;  // peer-maintained replica
@@ -79,6 +92,36 @@ sim::Task<std::size_t> BasicChannel::get(Connection& conn,
 
   // 5. Return the number of bytes successfully read.
   co_return n;
+}
+
+std::uint64_t BasicChannel::journal_consumed(const VerbsConnection& c) const {
+  return c.ctrl.tail_master;
+}
+
+sim::Task<void> BasicChannel::replay(VerbsConnection& c,
+                                     std::uint64_t peer_consumed) {
+  // In-flight tail updates died with the old QP; the handshake watermark
+  // is at least as fresh (the quiesce before publishing guarantees every
+  // old-epoch write had landed when the peer read it).
+  c.ctrl.tail_replica = std::max(c.ctrl.tail_replica, peer_consumed);
+
+  // Rewrite everything the peer has not consumed from the retained staging
+  // copy, then refresh its head replica.  Bytes it already held are
+  // rewritten bit-for-bit -- harmless.  Unsignaled: a failure still raises
+  // an error CQE, which flags the connection for the next entry hook.
+  const std::uint64_t head = c.ctrl.head_master;
+  if (head > peer_consumed) {
+    const std::size_t R = cfg_.ring_bytes;
+    const std::size_t n = static_cast<std::size_t>(head - peer_consumed);
+    const std::size_t off = static_cast<std::size_t>(peer_consumed % R);
+    const std::size_t first = std::min(n, R - off);
+    post_ring_write(c, off, first, off, /*signaled=*/false, next_wr_id());
+    if (first < n) {
+      post_ring_write(c, 0, n - first, 0, /*signaled=*/false, next_wr_id());
+    }
+    post_head_update(c);
+  }
+  co_return;
 }
 
 }  // namespace rdmach

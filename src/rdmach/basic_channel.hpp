@@ -29,6 +29,14 @@ class BasicChannel : public VerbsChannelBase {
   std::unique_ptr<VerbsConnection> make_connection() override {
     return std::make_unique<VerbsConnection>();
   }
+
+  /// Byte-granular journal: the consumed watermark is the tail master.
+  std::uint64_t journal_consumed(const VerbsConnection& c) const override;
+  /// Rewrites ring bytes [peer_consumed, head_master) from staging and
+  /// refreshes the remote head replica; resyncs the local tail replica
+  /// forward to the watermark the peer published.
+  sim::Task<void> replay(VerbsConnection& c,
+                         std::uint64_t peer_consumed) override;
 };
 
 }  // namespace rdmach

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 
 #include "pmi/pmi.hpp"
@@ -99,6 +100,31 @@ struct ChannelConfig {
   /// Registration cache (section 5) for zero-copy user buffers.
   bool use_reg_cache = true;
   std::size_t reg_cache_capacity = 64u << 20;
+
+  // ---- connection recovery ------------------------------------------------
+  /// How many consecutive recovery attempts (QP teardown + re-handshake +
+  /// replay) a connection may make without either direction's consumed
+  /// watermark advancing before the connection is declared dead and put/get
+  /// raise ChannelError.  Attempts that make progress reset the budget.
+  int recovery_max_attempts = 8;
+  /// Backoff before the first re-handshake; doubles per consecutive attempt.
+  sim::Tick recovery_backoff = sim::usec(20);
+  /// Ceiling for the exponential backoff.
+  sim::Tick recovery_backoff_cap = sim::usec(2000);
+};
+
+/// Raised by put/get when a connection is beyond recovery: the retry budget
+/// is exhausted (locally or on the peer, via its published dead marker).
+/// The channel object itself stays usable for other peers; only the named
+/// connection is dead.
+class ChannelError : public std::runtime_error {
+ public:
+  ChannelError(int peer, const std::string& what)
+      : std::runtime_error(what), peer_(peer) {}
+  int peer() const noexcept { return peer_; }
+
+ private:
+  int peer_;
 };
 
 /// Per-peer endpoint handle.  Concrete channels subclass this with their

@@ -28,6 +28,10 @@ class MultiMethodChannel : public Channel {
   /// True when `peer` shares this rank's node (served by shared memory).
   bool is_local(int peer) const;
 
+  /// The cross-node member channel (null before init); tests reach through
+  /// it for recovery statistics.
+  Channel* net() const noexcept { return net_.get(); }
+
  private:
   struct Routed : Connection {
     Channel* via = nullptr;

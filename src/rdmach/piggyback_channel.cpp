@@ -77,6 +77,7 @@ sim::Task<std::size_t> PiggybackChannel::put(Connection& conn,
                                              std::span<const ConstIov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await call_overhead();
+  co_await maybe_recover(c);
 
   const std::size_t total = total_length(iovs);
   const std::size_t cap = slot_capacity();
@@ -128,6 +129,7 @@ sim::Task<std::size_t> PiggybackChannel::get(Connection& conn,
                                              std::span<const Iov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await call_overhead();
+  co_await maybe_recover(c);
 
   const std::size_t want = total_length(iovs);
   std::size_t delivered = 0;
@@ -148,6 +150,35 @@ sim::Task<std::size_t> PiggybackChannel::get(Connection& conn,
     if (c.cur_slot_off == hdr->payload_len) consume_slot(c);
   }
   co_return delivered;
+}
+
+std::uint64_t PiggybackChannel::journal_consumed(
+    const VerbsConnection& c) const {
+  return static_cast<const SlotConnection&>(c).slots_consumed;
+}
+
+sim::Task<void> PiggybackChannel::replay(VerbsConnection& conn,
+                                         std::uint64_t peer_consumed) {
+  auto& c = static_cast<SlotConnection&>(conn);
+  // In-flight explicit/piggybacked tail updates died with the old QP; the
+  // handshake watermark supersedes them.
+  c.tail_piggy = std::max(c.tail_piggy, peer_consumed);
+  c.ctrl.tail_replica = std::max(c.ctrl.tail_replica, peer_consumed);
+
+  // Re-post every staged slot the peer has not consumed.  Slot lengths are
+  // recovered from the retained staged headers; slots the peer already has
+  // (complete or partially read -- cur_slot_off > 0) are rewritten with
+  // identical bytes, so its gen flags and read position stay valid.
+  for (std::uint64_t s = peer_consumed; s < c.slots_sent; ++s) {
+    const std::size_t idx = static_cast<std::size_t>(s % slot_count());
+    const std::size_t ring_off = idx * cfg_.chunk_bytes;
+    SlotHeader hdr;
+    std::memcpy(&hdr, c.staging.data() + ring_off, sizeof(hdr));
+    const std::size_t slot_bytes = sizeof(SlotHeader) + hdr.payload_len + 4;
+    post_ring_write(c, ring_off, slot_bytes, ring_off, /*signaled=*/false,
+                    next_wr_id());
+  }
+  co_return;
 }
 
 }  // namespace rdmach

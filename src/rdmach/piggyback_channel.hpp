@@ -72,6 +72,8 @@ class SlotConnection : public VerbsConnection {
   bool r_read_inflight = false;
   std::uint64_t r_read_wr = 0;
   std::size_t r_read_len = 0;
+  std::byte* r_read_dst = nullptr;  // exact destination (the cached MR may
+                                    // start earlier); recovery re-reads here
   ib::MemoryRegion* r_dst_mr = nullptr;
   bool ack_pending = false;
 };
@@ -130,6 +132,14 @@ class PiggybackChannel : public VerbsChannelBase {
     return cfg_.tail_update_slots != 0 ? cfg_.tail_update_slots
                                        : std::max<std::size_t>(1, slot_count() / 2);
   }
+
+  /// Slot-granular journal: the consumed watermark counts slots.
+  std::uint64_t journal_consumed(const VerbsConnection& c) const override;
+  /// Re-posts staged slots [peer_consumed, slots_sent) -- each slot's
+  /// length is recovered from its staged header -- and resyncs both local
+  /// views of the peer's consumption forward.
+  sim::Task<void> replay(VerbsConnection& c,
+                         std::uint64_t peer_consumed) override;
 
   bool pipelined_;
 };

@@ -19,8 +19,26 @@ sim::Task<ib::MemoryRegion*> RegCache::acquire(const void* addr,
     }
   }
   ++misses_;
-  ib::MemoryRegion* mr = co_await pd_->register_memory(
-      const_cast<void*>(addr), len, ib::kAllAccess);
+  ib::MemoryRegion* mr = nullptr;
+  for (;;) {
+    bool refused = false;  // co_await is illegal inside a handler
+    try {
+      mr = co_await pd_->register_memory(const_cast<void*>(addr), len,
+                                         ib::kAllAccess);
+    } catch (const ib::RegistrationError&) {
+      refused = true;
+    }
+    if (!refused) break;
+    // Pin-down limit: make room by dropping the LRU unpinned entry and
+    // retry.  With nothing evictable the failure is genuine.
+    // NB: the await result must go through a named local; gcc 12 emits a
+    // broken actor for `if (!co_await ...)` conditions.
+    const bool evicted = co_await evict_one();
+    if (!evicted) {
+      throw ib::RegistrationError("registration refused and cache has no "
+                                  "evictable entry");
+    }
+  }
   if (!enabled_) co_return mr;
   entries_[mr->addr()] = Entry{mr, 1, ++clock_};
   bytes_ += len;
@@ -43,21 +61,38 @@ sim::Task<void> RegCache::release(ib::MemoryRegion* mr) {
 
 sim::Task<void> RegCache::evict_to_capacity() {
   while (bytes_ > capacity_) {
-    auto victim = entries_.end();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.pins == 0 &&
-          (victim == entries_.end() ||
-           it->second.last_use < victim->second.last_use)) {
-        victim = it;
-      }
-    }
-    if (victim == entries_.end()) co_return;  // everything pinned
-    ib::MemoryRegion* mr = victim->second.mr;
-    bytes_ -= mr->length();
-    entries_.erase(victim);
-    ++evictions_;
-    co_await pd_->deregister(mr);
+    const bool evicted = co_await evict_one();  // named local: see acquire()
+    if (!evicted) co_return;                    // everything pinned
   }
+}
+
+sim::Task<bool> RegCache::evict_one() {
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.pins == 0 &&
+        (victim == entries_.end() ||
+         it->second.last_use < victim->second.last_use)) {
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) co_return false;
+  ib::MemoryRegion* mr = victim->second.mr;
+  bytes_ -= mr->length();
+  entries_.erase(victim);
+  ++evictions_;
+  co_await pd_->deregister(mr);
+  co_return true;
+}
+
+sim::Task<void> RegCache::invalidate(ib::MemoryRegion* mr) {
+  if (enabled_) {
+    auto it = entries_.find(mr->addr());
+    if (it != entries_.end() && it->second.mr == mr) {
+      bytes_ -= mr->length();
+      entries_.erase(it);
+    }
+  }
+  co_await pd_->deregister(mr);
 }
 
 sim::Task<void> RegCache::flush() {

@@ -29,12 +29,21 @@ class RegCache {
       : pd_(&pd), capacity_(capacity_bytes), enabled_(enabled) {}
 
   /// Returns a registration covering [addr, addr+len), reusing a cached
-  /// one when possible.  The entry is pinned until release().
+  /// one when possible.  The entry is pinned until release().  If the HCA
+  /// refuses the registration (pin-down limit), unpinned entries are
+  /// evicted one at a time and the registration retried; the
+  /// ib::RegistrationError propagates only when nothing is evictable.
   sim::Task<ib::MemoryRegion*> acquire(const void* addr, std::size_t len);
 
   /// Unpins; with the cache enabled the registration is retained for
   /// reuse, otherwise it is deregistered immediately.
   sim::Task<void> release(ib::MemoryRegion* mr);
+
+  /// Force-removes a registration regardless of pin count and deregisters
+  /// it (QP-error recovery: translation state involved in a torn-down
+  /// transfer is not trusted across the teardown).  The caller must
+  /// re-acquire before reuse.
+  sim::Task<void> invalidate(ib::MemoryRegion* mr);
 
   /// Deregisters every unpinned entry (finalize).
   sim::Task<void> flush();
@@ -54,6 +63,8 @@ class RegCache {
   };
 
   sim::Task<void> evict_to_capacity();
+  /// Evicts the LRU unpinned entry; false when everything is pinned.
+  sim::Task<bool> evict_one();
 
   ib::ProtectionDomain* pd_;
   std::size_t capacity_;

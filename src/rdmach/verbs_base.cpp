@@ -1,5 +1,6 @@
 #include "rdmach/verbs_base.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -9,6 +10,17 @@ namespace {
 
 std::string key(int from, int to, const char* what) {
   return "ch:" + std::to_string(from) + ":" + std::to_string(to) + ":" + what;
+}
+
+/// Recovery-handshake keys are epoch-scoped so every re-handshake is a
+/// fresh exchange (PMI keys are write-once in real mpd too).
+std::string rec_key(int from, int to, std::uint64_t epoch, const char* what) {
+  return "rcv:" + std::to_string(from) + ":" + std::to_string(to) + ":" +
+         std::to_string(epoch) + ":" + what;
+}
+
+std::string dead_key(int from, int to) {
+  return "rcv:" + std::to_string(from) + ":" + std::to_string(to) + ":dead";
 }
 
 }  // namespace
@@ -65,11 +77,78 @@ sim::Task<void> VerbsChannelBase::init() {
     }
   }
   co_await ctx_->barrier->arrive();
+
+  // Both directions are connected now: index QPs for error-CQE dispatch and
+  // remember the peer node for out-of-band recovery wakeups.
+  for (int p = 0; p < size(); ++p) {
+    if (p == rank()) continue;
+    VerbsConnection& c = *conns_[static_cast<std::size_t>(p)];
+    c.peer_node = &c.qp->peer()->node();
+    qp_index_[c.qp->qp_num()] = &c;
+  }
+}
+
+sim::Task<void> VerbsChannelBase::drain_connection(VerbsConnection& c) {
+  sim::Simulator& sim = ctx_->sim();
+  for (;;) {
+    bool dead = false;  // co_await is illegal inside a handler
+    try {
+      co_await maybe_recover(c);
+    } catch (const ChannelError&) {
+      // Nothing more can be delivered; the data loss was already surfaced
+      // as ChannelError from the puts/gets that needed the connection.
+      dead = true;
+    }
+    if (dead) co_return;
+    co_await c.qp->quiesce();
+    // An errored WQE's completion trails the quiesce by the NAK round trip
+    // (the engine goes idle when it gives up, the CQE lands 2*wire_latency
+    // later) -- wait it out so drain_cq sees the verdict.
+    co_await sim.delay(2 * ctx_->fabric().cfg().wire_latency + 1);
+    drain_cq();
+    if (!c.rec.failed && !peer_epoch_pending(c)) co_return;
+  }
 }
 
 sim::Task<void> VerbsChannelBase::finalize() {
-  // Quiesce: every rank stops producing before buffers are released.
-  co_await ctx_->barrier->arrive();
+  // Flush before stopping: "my put accepted those bytes" must mean "the
+  // peer can read them", even though data/tail writes are posted unsignaled
+  // and their loss is only discovered by the *next* channel entry -- which,
+  // at shutdown, would never come.  (Regression: an MPI rank whose last
+  // packet's ring write died with the QP parked in the finalize barrier
+  // while its peer waited forever for the bytes.)
+  for (auto& c : conns_) {
+    if (!c) continue;
+    co_await drain_connection(*c);
+  }
+
+  // Recovery-aware barrier: a drained rank keeps answering epoch
+  // handshakes -- a slower peer may still need our half of a re-handshake
+  // to redeliver its own traffic.  A blocking arrive() here would deadlock
+  // exactly the case the drain above exists for, with the roles swapped.
+  const std::uint64_t token = ctx_->barrier->arrive_split();
+  while (!ctx_->barrier->done(token)) {
+    bool serviced = false;
+    for (auto& cp : conns_) {
+      if (!cp || cp->rec.dead) continue;
+      drain_cq();
+      if (cp->rec.failed || peer_epoch_pending(*cp)) {
+        co_await drain_connection(*cp);
+        serviced = true;
+      }
+    }
+    if (ctx_->barrier->done(token)) break;
+    if (!serviced) co_await wait_for_activity();
+  }
+  // Completing the barrier wakes peers parked in the service loop above
+  // (wait_for_activity is a node-level event; the barrier release is not).
+  node().dma_arrival().fire();
+  for (auto& c : conns_) {
+    if (!c) continue;
+    wake_peer(*c);
+  }
+
+  // All ranks have drained and stopped producing; buffers can go.
   for (auto& c : conns_) {
     if (!c) continue;
     co_await pd_->deregister(c->ring_mr);
@@ -130,6 +209,14 @@ void VerbsChannelBase::post_tail_update(VerbsConnection& c) {
 
 void VerbsChannelBase::drain_cq() {
   while (auto wc = cq_->poll()) {
+    if (wc->status == ib::WcStatus::kTransportError ||
+        wc->status == ib::WcStatus::kFlushError) {
+      // Map the CQE back to its connection.  A qp_num missing from the
+      // index belongs to an already torn-down epoch (a straggler flush);
+      // it must not re-trip recovery on the replacement QP.
+      auto it = qp_index_.find(wc->qp_num);
+      if (it != qp_index_.end()) it->second->rec.failed = true;
+    }
     completed_[wc->wr_id] = *wc;
   }
 }
@@ -147,7 +234,8 @@ sim::Task<ib::Wc> VerbsChannelBase::await_completion(std::uint64_t wr_id) {
   ib::Wc wc;
   for (;;) {
     if (take_completion(wr_id, &wc)) {
-      if (wc.status != ib::WcStatus::kSuccess) {
+      if (wc.status == ib::WcStatus::kLocalProtectionError ||
+          wc.status == ib::WcStatus::kRemoteAccessError) {
         throw std::logic_error(std::string("channel-internal WR failed: ") +
                                ib::to_string(wc.status));
       }
@@ -155,6 +243,119 @@ sim::Task<ib::Wc> VerbsChannelBase::await_completion(std::uint64_t wr_id) {
     }
     co_await cq_->wait_nonempty();
   }
+}
+
+sim::Task<void> VerbsChannelBase::maybe_recover(VerbsConnection& c) {
+  drain_cq();
+  pmi::Kvs& kvs = *ctx_->kvs;
+  for (;;) {
+    if (!c.rec.dead && kvs.has(dead_key(c.peer, rank()))) c.rec.dead = true;
+    if (c.rec.dead) {
+      throw ChannelError(c.peer, "connection to rank " +
+                                     std::to_string(c.peer) + " is dead");
+    }
+    if (!c.rec.failed && !peer_epoch_pending(c)) co_return;
+    co_await recover(c);
+    drain_cq();
+  }
+}
+
+bool VerbsChannelBase::peer_epoch_pending(VerbsConnection& c) const {
+  return ctx_->kvs->has(rec_key(c.peer, rank(), c.rec.epoch + 1, "qpn"));
+}
+
+void VerbsChannelBase::wake_peer(VerbsConnection& c) {
+  if (c.peer_node == nullptr) return;
+  sim::Simulator& sim = ctx_->sim();
+  ib::Node* peer_node = c.peer_node;
+  sim.call_at(sim.now() + ctx_->fabric().cfg().wire_latency,
+              [peer_node] { peer_node->dma_arrival().fire(); });
+}
+
+sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
+  pmi::Kvs& kvs = *ctx_->kvs;
+  sim::Simulator& sim = ctx_->sim();
+  const std::uint64_t next_epoch = c.rec.epoch + 1;
+
+  if (++c.rec.attempts > cfg_.recovery_max_attempts) {
+    // Publish the verdict *before* throwing so the peer -- possibly parked
+    // inside its own handshake wait -- is released rather than deadlocked.
+    c.rec.dead = true;
+    kvs.put(dead_key(rank(), c.peer), "1");
+    wake_peer(c);
+    throw ChannelError(c.peer,
+                       "connection to rank " + std::to_string(c.peer) +
+                           " beyond recovery: " +
+                           std::to_string(cfg_.recovery_max_attempts) +
+                           " consecutive attempts without progress");
+  }
+
+  // Bounded exponential backoff before touching the wire again.
+  sim::Tick backoff = cfg_.recovery_backoff;
+  for (int i = 1; i < c.rec.attempts &&
+                  backoff < cfg_.recovery_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  co_await sim.delay(std::min(backoff, cfg_.recovery_backoff_cap));
+
+  // Tear down: error the old QP, wait until nothing it initiated can still
+  // land in peer memory (the precondition for trusting replayed state),
+  // then drop it from the CQE index so straggler flushes are inert.
+  c.qp->close();
+  co_await c.qp->quiesce();
+  qp_index_.erase(c.qp->qp_num());
+
+  // Fresh QP; publish my half of the epoch handshake: the new QP number
+  // and how much of the peer's stream I had consumed (its replay start).
+  c.qp = &node().hca().create_qp(pd(), cq(), cq());
+  kvs.put_u64(rec_key(rank(), c.peer, next_epoch, "qpn"), c.qp->qp_num());
+  kvs.put_u64(rec_key(rank(), c.peer, next_epoch, "consumed"),
+              journal_consumed(c));
+  wake_peer(c);
+
+  // Join the peer's half -- unless it declared the connection dead.
+  auto peer_qpn_s = co_await kvs.get_unless(
+      rec_key(c.peer, rank(), next_epoch, "qpn"), dead_key(c.peer, rank()));
+  auto peer_consumed_s = co_await kvs.get_unless(
+      rec_key(c.peer, rank(), next_epoch, "consumed"),
+      dead_key(c.peer, rank()));
+  if (!peer_qpn_s || !peer_consumed_s) {
+    c.rec.dead = true;
+    throw ChannelError(c.peer, "connection to rank " +
+                                   std::to_string(c.peer) +
+                                   " declared dead by peer");
+  }
+  const auto peer_qpn =
+      static_cast<std::uint32_t>(std::stoull(*peer_qpn_s));
+  const std::uint64_t peer_consumed = std::stoull(*peer_consumed_s);
+
+  // Same connect protocol as bootstrap: the lower rank wires the pair.
+  if (rank() < c.peer) {
+    ib::QueuePair* peer_qp = ctx_->fabric().find_qp(peer_qpn);
+    if (peer_qp == nullptr) {
+      throw std::runtime_error("recovery: peer QP not found");
+    }
+    c.qp->connect(*peer_qp);
+  } else {
+    co_await c.qp->wait_connected();
+  }
+
+  c.rec.epoch = next_epoch;
+  c.rec.failed = false;
+  qp_index_[c.qp->qp_num()] = &c;
+  ++recoveries_;
+
+  // Progress in either direction since the last epoch refunds the retry
+  // budget; only consecutive *no-progress* attempts count against it.
+  const std::uint64_t local_consumed = journal_consumed(c);
+  if (peer_consumed > c.rec.last_synced ||
+      local_consumed > c.rec.last_synced_local) {
+    c.rec.attempts = 0;
+  }
+  c.rec.last_synced = peer_consumed;
+  c.rec.last_synced_local = local_consumed;
+
+  co_await replay(c, peer_consumed);
 }
 
 sim::Task<void> VerbsChannelBase::copy_in(VerbsConnection& c,

@@ -1,6 +1,7 @@
 // Common machinery for the RDMA-write-based channel designs (basic,
 // piggyback, pipeline, zero-copy): connection bootstrap through PMI,
-// registered ring/staging/control-block memory, and completion dispatch.
+// registered ring/staging/control-block memory, completion dispatch, and
+// connection recovery.
 //
 // Memory layout per connection (mirroring paper section 4.2): the "shared"
 // ring lives in the receiver's memory, registered and exported; the sender
@@ -8,6 +9,15 @@
 // pointers are replicated so neither side ever polls through the network --
 // the tail master lives at the receiver with a replica at the sender, the
 // head master at the sender with a replica at the receiver.
+//
+// Recovery (see DESIGN.md "Connection recovery"): a transport error flushes
+// the QP; both ranks then tear the QP pair down, re-handshake through PMI
+// under a bumped epoch number, and the sender replays every ring byte the
+// receiver has not acknowledged consuming from its retained staging copy.
+// The head/tail counters plus the staging ring ARE the journal -- nothing
+// extra is logged on the fast path.  Attempts back off exponentially; a
+// budget of consecutive no-progress attempts bounds the retry loop, after
+// which put/get raise ChannelError instead of hanging.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +66,19 @@ class VerbsConnection : public Connection {
   std::uint32_t r_ring_rkey = 0;
   std::uint64_t r_ctrl_addr = 0;  // peer's control block
   std::uint32_t r_ctrl_rkey = 0;
+
+  /// Recovery journal counters (the data itself lives in `staging` /
+  /// `ctrl`, which survive QP replacement).
+  struct Recovery {
+    std::uint64_t epoch = 0;  // completed re-handshakes on this connection
+    int attempts = 0;         // consecutive recoveries without progress
+    std::uint64_t last_synced = 0;        // peer consumed mark at last epoch
+    std::uint64_t last_synced_local = 0;  // my consumed mark at last epoch
+    bool failed = false;  // an error CQE implicated the current QP
+    bool dead = false;    // retry budget exhausted (here or at the peer)
+  };
+  Recovery rec;
+  ib::Node* peer_node = nullptr;  // for CM-style recovery wakeups
 };
 
 class VerbsChannelBase : public Channel {
@@ -69,6 +92,9 @@ class VerbsChannelBase : public Channel {
   ib::ProtectionDomain& pd() const noexcept { return *pd_; }
   ib::CompletionQueue& cq() const noexcept { return *cq_; }
   ib::Node& node() const noexcept { return *ctx_->node; }
+
+  /// How many QP re-handshakes this channel has completed (all peers).
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
 
  protected:
   VerbsChannelBase(pmi::Context& ctx, const ChannelConfig& cfg)
@@ -93,10 +119,29 @@ class VerbsChannelBase : public Channel {
   void drain_cq();
   /// Removes a stashed completion for wr_id, if present.
   bool take_completion(std::uint64_t wr_id, ib::Wc* out);
-  /// Blocks until the completion for wr_id is available (throws on error
-  /// status -- channel-internal transfers are programmed correctly by
-  /// construction, so an error CQE here is a bug, not a runtime condition).
+  /// Blocks until the completion for wr_id is available.  Transport and
+  /// flush errors are *returned* (they are runtime conditions the recovery
+  /// layer handles); protection errors still throw -- channel-internal
+  /// transfers are programmed correctly by construction, so a bad key or
+  /// bounds violation here is a bug.
   sim::Task<ib::Wc> await_completion(std::uint64_t wr_id);
+
+  // ---- connection recovery ------------------------------------------------
+  /// How many units (bytes or slots, the design's choice) of the peer's
+  /// incoming stream this rank has consumed -- the watermark published to
+  /// the peer during a re-handshake so it knows where replay must start.
+  virtual std::uint64_t journal_consumed(const VerbsConnection& c) const = 0;
+  /// Re-posts, onto the freshly connected QP, everything past the peer's
+  /// acknowledged watermark: journalled ring state from `staging`, plus any
+  /// design-specific in-flight control traffic (e.g. an interrupted
+  /// zero-copy rendezvous).  Must be idempotent: replayed units may
+  /// duplicate data the peer already holds bit-for-bit.
+  virtual sim::Task<void> replay(VerbsConnection& c,
+                                 std::uint64_t peer_consumed) = 0;
+  /// Entry hook for put/get: raises ChannelError if the connection is dead,
+  /// otherwise runs the recovery loop until the connection is clean.  Free
+  /// of posts and virtual time on the fault-free path.
+  sim::Task<void> maybe_recover(VerbsConnection& c);
 
   /// Charges the per-call software overhead.
   sim::Task<void> call_overhead() {
@@ -116,10 +161,30 @@ class VerbsChannelBase : public Channel {
   std::vector<std::unique_ptr<VerbsConnection>> conns_;  // [peer]; self null
 
  private:
+  /// One teardown + re-handshake + replay cycle.  Throws ChannelError when
+  /// the retry budget runs out (publishing the dead marker first so the
+  /// peer is released too).
+  sim::Task<void> recover(VerbsConnection& c);
+  /// Finalize-time flush of one connection: quiesces the QP and re-runs
+  /// recovery until every byte a put() accepted has actually been delivered
+  /// (or the connection is dead, whose loss put/get already surfaced).
+  sim::Task<void> drain_connection(VerbsConnection& c);
+  /// CM-style out-of-band event: fires the peer node's dma_arrival one
+  /// wire latency from now, so a rank parked in wait_for_activity() learns
+  /// that a recovery handshake (or a dead marker) awaits it.
+  void wake_peer(VerbsConnection& c);
+  /// True when the peer has published its half of the next epoch's
+  /// handshake -- the signal for a rank that saw no local error to join.
+  bool peer_epoch_pending(VerbsConnection& c) const;
+
   ib::ProtectionDomain* pd_ = nullptr;
   ib::CompletionQueue* cq_ = nullptr;
   std::unordered_map<std::uint64_t, ib::Wc> completed_;
+  /// Live QPs only; an error CQE whose qp_num is absent belongs to a torn
+  /// down epoch and must not re-trigger recovery.
+  std::unordered_map<std::uint32_t, VerbsConnection*> qp_index_;
   std::uint64_t wr_seq_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace rdmach

@@ -54,6 +54,7 @@ sim::Task<std::size_t> ZeroCopyChannel::put(Connection& conn,
                                             std::span<const ConstIov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await node().compute(kZcStateOverhead);
+  co_await maybe_recover(c);
 
   // Sender-side rendezvous progress: learn of acks even when the caller is
   // only retrying (Figure 10: "Put ... Done" discovered via put).
@@ -132,6 +133,7 @@ sim::Task<void> ZeroCopyChannel::issue_read(SlotConnection& c,
   c.r_dst_mr = co_await cache_->acquire(dst, m);
   c.r_read_wr = next_wr_id();
   c.r_read_len = m;
+  c.r_read_dst = dst;
   c.r_read_inflight = true;
   c.qp->post_send(ib::SendWr{c.r_read_wr,
                              ib::Opcode::kRdmaRead,
@@ -145,6 +147,7 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
                                             std::span<const Iov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await call_overhead();
+  co_await maybe_recover(c);
 
   const std::size_t want = total_length(iovs);
   std::size_t delivered = 0;
@@ -154,8 +157,15 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
       if (c.r_read_inflight) {
         ib::Wc wc;
         if (!take_completion(c.r_read_wr, &wc)) break;  // still in flight
-        if (wc.status != ib::WcStatus::kSuccess) {
+        if (wc.status == ib::WcStatus::kLocalProtectionError ||
+            wc.status == ib::WcStatus::kRemoteAccessError) {
           throw std::logic_error("zero-copy RDMA read failed");
+        }
+        if (wc.status != ib::WcStatus::kSuccess) {
+          // Transport failure mid-read: leave the rendezvous intact with
+          // r_read_inflight set, so recovery's replay re-issues the read
+          // on the replacement QP.  The next get() enters maybe_recover.
+          break;
         }
         c.r_read_inflight = false;
         c.r_done += c.r_read_len;
@@ -213,6 +223,31 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
 
   if (c.ack_pending) try_send_ack(c);
   co_return delivered;
+}
+
+sim::Task<void> ZeroCopyChannel::replay(VerbsConnection& conn,
+                                        std::uint64_t peer_consumed) {
+  co_await PiggybackChannel::replay(conn, peer_consumed);
+  auto& c = static_cast<SlotConnection&>(conn);
+  // An RTS or ack slot in flight when the QP died is an ordinary unconsumed
+  // slot, already re-posted above -- the rendezvous control packet is
+  // idempotent by construction.  What slot replay cannot cover is an
+  // initiated-but-dead RDMA read: re-pull the same piece into the same
+  // destination, resuming at r_done.  The sender's source registration
+  // (rndv_mr) survives recovery, so the advertised rkey is still valid.
+  if (c.r_rndv_active && c.r_read_inflight && c.r_dst_mr != nullptr) {
+    std::byte* dst = c.r_read_dst;
+    const std::size_t m = c.r_read_len;
+    co_await cache_->invalidate(c.r_dst_mr);
+    c.r_dst_mr = co_await cache_->acquire(dst, m);
+    c.r_read_wr = next_wr_id();
+    c.qp->post_send(ib::SendWr{c.r_read_wr,
+                               ib::Opcode::kRdmaRead,
+                               {ib::Sge{dst, m, c.r_dst_mr->lkey()}},
+                               c.r_addr + c.r_done,
+                               c.r_rkey,
+                               /*signaled=*/true});
+  }
 }
 
 }  // namespace rdmach

@@ -45,6 +45,14 @@ class ZeroCopyChannel : public PipelineChannel {
 
   RegCache& reg_cache() noexcept { return *cache_; }
 
+ protected:
+  /// Piggyback slot replay, plus: an RDMA read interrupted mid-rendezvous
+  /// has its destination registration invalidated (not trusted across the
+  /// teardown), re-acquired, and the read re-posted on the fresh QP at the
+  /// same offset.
+  sim::Task<void> replay(VerbsConnection& c,
+                         std::uint64_t peer_consumed) override;
+
  private:
   /// Consumes leading ack slots (sender-side progress made from put).
   void harvest_acks(SlotConnection& c);

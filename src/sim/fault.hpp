@@ -1,0 +1,80 @@
+// Deterministic fault-schedule injection.
+//
+// `inject_error_rate` (ib/config.hpp) models *random* attempt failures; it
+// cannot express "kill exactly the 3rd WQE node0 posts", which is what the
+// connection-recovery tests need.  A FaultSchedule holds per-scope kill
+// plans keyed by a running operation counter: instrumented subsystems call
+// check(scope) once per operation and receive the scheduled fault, if any.
+// Scopes are plain strings chosen by the instrumentation site (the QP send
+// engines use the initiator node's name), so one schedule can steer many
+// components.  The simulation is single-threaded and event order is
+// deterministic, so the Nth operation of a scope is the same operation in
+// every run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sim {
+
+class FaultSchedule {
+ public:
+  struct Fault {
+    /// A fatal fault models real RC retry exhaustion: the victim completes
+    /// with a transport error AND the QP transitions to the error state
+    /// (subsequent WQEs flush).  A non-fatal fault drops only the victim --
+    /// useful for single-WQE tests, but note it breaks the in-order
+    /// delivery guarantee for anything posted behind the victim.
+    bool fatal = true;
+  };
+
+  /// Kills the `nth` (0-based) operation observed in `scope`.
+  void kill(const std::string& scope, std::uint64_t nth, bool fatal = true) {
+    scopes_[scope].kills[nth] = Fault{fatal};
+  }
+
+  /// Kills every operation in `scope` from index `from` onward (retry-budget
+  /// exhaustion scenarios: nothing ever gets through again).
+  void kill_from(const std::string& scope, std::uint64_t from,
+                 bool fatal = true) {
+    scopes_[scope].all_from = std::make_pair(from, Fault{fatal});
+  }
+
+  /// Instrumentation hook: counts one operation in `scope` and returns the
+  /// fault scheduled for it, if any.
+  std::optional<Fault> check(const std::string& scope) {
+    Scope& s = scopes_[scope];
+    const std::uint64_t idx = s.count++;
+    std::optional<Fault> hit;
+    if (auto it = s.kills.find(idx); it != s.kills.end()) hit = it->second;
+    if (!hit && s.all_from && idx >= s.all_from->first) {
+      hit = s.all_from->second;
+    }
+    if (hit) ++killed_;
+    return hit;
+  }
+
+  /// Operations observed so far in `scope`.
+  std::uint64_t observed(const std::string& scope) const {
+    auto it = scopes_.find(scope);
+    return it == scopes_.end() ? 0 : it->second.count;
+  }
+
+  /// Total faults delivered across all scopes.
+  std::uint64_t killed() const noexcept { return killed_; }
+
+ private:
+  struct Scope {
+    std::map<std::uint64_t, Fault> kills;
+    std::optional<std::pair<std::uint64_t, Fault>> all_from;
+    std::uint64_t count = 0;
+  };
+
+  std::map<std::string, Scope> scopes_;
+  std::uint64_t killed_ = 0;
+};
+
+}  // namespace sim

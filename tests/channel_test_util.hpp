@@ -1,12 +1,18 @@
 // Helpers for driving the nonblocking put/get interface from tests:
 // blocking send/recv retry loops with the standard activity-count pattern
-// that closes the check-then-sleep race.
+// that closes the check-then-sleep race, a rank-addressed fault-schedule
+// builder, and a randomized traffic generator whose concatenated byte
+// stream doubles as the differential-test oracle.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "rdmach/channel.hpp"
+#include "sim/fault.hpp"
+#include "sim/rng.hpp"
 #include "sim/task.hpp"
 
 namespace rdmach::testutil {
@@ -38,5 +44,56 @@ inline sim::Task<void> recv_all(Channel& ch, Connection& c, void* buf,
     }
   }
 }
+
+/// Rank-addressed wrapper over sim::FaultSchedule: pmi::Job names nodes
+/// "node0".."nodeN-1", one rank per node (the default), so "kill rank R's
+/// Nth WQE" translates directly to a node-name scope.  Attach `schedule`
+/// to the fabric before launching.
+struct FaultPlan {
+  sim::FaultSchedule schedule;
+
+  static std::string scope_of(int rank) {
+    return "node" + std::to_string(rank);
+  }
+
+  /// Kills the `nth` (0-based) WQE that rank's HCA processes.
+  FaultPlan& kill(int rank, std::uint64_t nth, bool fatal = true) {
+    schedule.kill(scope_of(rank), nth, fatal);
+    return *this;
+  }
+
+  /// Kills every WQE from the `from`th onward (budget-exhaustion tests).
+  FaultPlan& kill_from(int rank, std::uint64_t from, bool fatal = true) {
+    schedule.kill_from(scope_of(rank), from, fatal);
+    return *this;
+  }
+};
+
+/// Randomized put-sized message stream.  `bytes` is the full concatenated
+/// stream in FIFO order -- exactly what a correct channel must deliver, so
+/// it serves as the oracle for differential fault tests.
+struct Traffic {
+  std::vector<std::size_t> sizes;
+  std::vector<std::byte> bytes;
+
+  static Traffic make(std::uint64_t seed, std::size_t messages,
+                      std::size_t min_len, std::size_t max_len) {
+    sim::Rng rng(seed);
+    Traffic t;
+    t.sizes.reserve(messages);
+    for (std::size_t i = 0; i < messages; ++i) {
+      const std::size_t n =
+          min_len + static_cast<std::size_t>(rng.below(
+                        static_cast<std::uint64_t>(max_len - min_len + 1)));
+      t.sizes.push_back(n);
+      for (std::size_t b = 0; b < n; ++b) {
+        t.bytes.push_back(static_cast<std::byte>(rng.next() & 0xff));
+      }
+    }
+    return t;
+  }
+
+  std::size_t total() const { return bytes.size(); }
+};
 
 }  // namespace rdmach::testutil
