@@ -246,7 +246,7 @@ CMakeFiles/gb_components.dir/bench/gb_components.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
  /usr/include/c++/12/optional /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
- /root/repo/src/ib/hca.hpp /root/repo/src/ib/cq.hpp \
- /root/repo/src/ib/types.hpp /root/repo/src/ib/mr.hpp \
- /root/repo/src/rdmach/reg_cache.hpp
+ /root/repo/src/sim/trace.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/rng.hpp /root/repo/src/ib/hca.hpp \
+ /root/repo/src/ib/cq.hpp /root/repo/src/ib/types.hpp \
+ /root/repo/src/ib/mr.hpp /root/repo/src/rdmach/reg_cache.hpp

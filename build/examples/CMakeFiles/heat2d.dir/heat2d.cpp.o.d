@@ -241,13 +241,14 @@ examples/CMakeFiles/heat2d.dir/heat2d.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
  /usr/include/c++/12/optional /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/sim/fault.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/rng.hpp \
  /root/repo/src/mpi/runtime.hpp /root/repo/src/mpi/comm.hpp \
  /usr/include/c++/12/span /root/repo/src/mpi/datatype.hpp \
  /root/repo/src/mpi/types.hpp /root/repo/src/mpi/engine.hpp \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/ch3/ch3.hpp \
  /root/repo/src/ch3/packet.hpp /root/repo/src/rdmach/channel.hpp \
- /root/repo/src/pmi/pmi.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/mpi/request.hpp
+ /root/repo/src/pmi/pmi.hpp /root/repo/src/mpi/request.hpp

@@ -213,10 +213,10 @@ src/ch3/CMakeFiles/mpib_ch3.dir/ib_direct_channel.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ib/fabric.hpp \
- /root/repo/src/ib/config.hpp /root/repo/src/sim/time.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /root/repo/src/ib/fabric.hpp /root/repo/src/ib/config.hpp \
+ /root/repo/src/sim/time.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -243,8 +243,8 @@ src/ch3/CMakeFiles/mpib_ch3.dir/ib_direct_channel.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /usr/include/c++/12/optional /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
  /root/repo/src/ch3/stream_mux.hpp \
  /root/repo/src/rdmach/piggyback_channel.hpp \
  /root/repo/src/rdmach/verbs_base.hpp /root/repo/src/ib/cq.hpp \

@@ -242,5 +242,8 @@ src/ib/CMakeFiles/mpib_ib.dir/mr.cpp.o: /root/repo/src/ib/mr.cpp \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/sim/fault.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/rng.hpp \
  /root/repo/src/ib/hca.hpp /root/repo/src/ib/cq.hpp

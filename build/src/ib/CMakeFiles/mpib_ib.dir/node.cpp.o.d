@@ -241,6 +241,8 @@ src/ib/CMakeFiles/mpib_ib.dir/node.cpp.o: /root/repo/src/ib/node.cpp \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
  /usr/include/c++/12/optional /root/repo/src/sim/sync.hpp \
  /root/repo/src/sim/trace.hpp /root/repo/src/ib/fabric.hpp \
- /root/repo/src/sim/rng.hpp /root/repo/src/ib/hca.hpp \
- /root/repo/src/ib/cq.hpp /root/repo/src/ib/types.hpp \
- /root/repo/src/ib/mr.hpp
+ /root/repo/src/sim/fault.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/rng.hpp \
+ /root/repo/src/ib/hca.hpp /root/repo/src/ib/cq.hpp \
+ /root/repo/src/ib/types.hpp /root/repo/src/ib/mr.hpp

@@ -241,5 +241,8 @@ src/ib/CMakeFiles/mpib_ib.dir/qp.cpp.o: /root/repo/src/ib/qp.cpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/ib/fabric.hpp /root/repo/src/ib/config.hpp \
  /root/repo/src/ib/node.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/sim/fault.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/rng.hpp \
  /root/repo/src/ib/hca.hpp

@@ -250,4 +250,5 @@ src/mpi/CMakeFiles/mpib_mpi.dir/collectives.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ib/fabric.hpp \
- /root/repo/src/sim/rng.hpp /root/repo/src/mpi/request.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/mpi/request.hpp

@@ -218,10 +218,10 @@ src/mpi/CMakeFiles/mpib_mpi.dir/comm.cpp.o: /root/repo/src/mpi/comm.cpp \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ib/fabric.hpp \
- /root/repo/src/ib/config.hpp /root/repo/src/sim/time.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /root/repo/src/ib/fabric.hpp /root/repo/src/ib/config.hpp \
+ /root/repo/src/sim/time.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -248,6 +248,6 @@ src/mpi/CMakeFiles/mpib_mpi.dir/comm.cpp.o: /root/repo/src/mpi/comm.cpp \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /usr/include/c++/12/optional /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
  /root/repo/src/mpi/request.hpp /root/repo/src/mpi/runtime.hpp

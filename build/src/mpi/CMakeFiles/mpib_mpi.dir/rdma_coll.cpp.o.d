@@ -251,5 +251,5 @@ src/mpi/CMakeFiles/mpib_mpi.dir/rdma_coll.cpp.o: \
  /root/repo/src/ib/config.hpp /root/repo/src/ib/node.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/sim/rng.hpp /root/repo/src/mpi/request.hpp \
- /root/repo/src/ib/hca.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/mpi/request.hpp /root/repo/src/ib/hca.hpp

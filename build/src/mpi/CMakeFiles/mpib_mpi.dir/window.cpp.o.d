@@ -251,8 +251,8 @@ src/mpi/CMakeFiles/mpib_mpi.dir/window.cpp.o: \
  /root/repo/src/ib/config.hpp /root/repo/src/ib/node.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/sim/rng.hpp /root/repo/src/mpi/request.hpp \
- /root/repo/src/rdmach/reg_cache.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/mpi/request.hpp /root/repo/src/rdmach/reg_cache.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/ib/hca.hpp

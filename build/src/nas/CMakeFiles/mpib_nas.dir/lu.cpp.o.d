@@ -242,14 +242,14 @@ src/nas/CMakeFiles/mpib_nas.dir/lu.cpp.o: /root/repo/src/nas/lu.cpp \
  /root/repo/src/rdmach/channel.hpp /root/repo/src/pmi/pmi.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ib/fabric.hpp \
- /root/repo/src/ib/config.hpp /root/repo/src/sim/time.hpp \
- /root/repo/src/ib/node.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /root/repo/src/ib/fabric.hpp /root/repo/src/ib/config.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/ib/node.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/sim/resource.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /usr/include/c++/12/optional /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
  /root/repo/src/mpi/request.hpp

@@ -107,7 +107,10 @@ src/pmi/CMakeFiles/mpib_pmi.dir/pmi.cpp.o: /root/repo/src/pmi/pmi.cpp \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
@@ -145,11 +148,8 @@ src/pmi/CMakeFiles/mpib_pmi.dir/pmi.cpp.o: /root/repo/src/pmi/pmi.cpp \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -243,5 +243,5 @@ src/pmi/CMakeFiles/mpib_pmi.dir/pmi.cpp.o: /root/repo/src/pmi/pmi.cpp \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/simulator.hpp \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
- /usr/include/c++/12/optional /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp
+ /root/repo/src/sim/sync.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp

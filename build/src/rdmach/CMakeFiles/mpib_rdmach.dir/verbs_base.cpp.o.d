@@ -242,9 +242,12 @@ src/rdmach/CMakeFiles/mpib_rdmach.dir/verbs_base.cpp.o: \
  /root/repo/src/ib/config.hpp /root/repo/src/ib/node.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/sim/rng.hpp /root/repo/src/ib/hca.hpp \
- /root/repo/src/ib/mr.hpp /root/repo/src/ib/qp.hpp \
- /root/repo/src/rdmach/channel.hpp /usr/include/c++/12/span \
- /root/repo/src/pmi/pmi.hpp /usr/include/c++/12/map \
+ /root/repo/src/sim/fault.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/sim/rng.hpp \
+ /root/repo/src/ib/hca.hpp /root/repo/src/ib/mr.hpp \
+ /root/repo/src/ib/qp.hpp /root/repo/src/rdmach/channel.hpp \
+ /usr/include/c++/12/span /root/repo/src/pmi/pmi.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -327,7 +327,8 @@ tests/CMakeFiles/channel_test.dir/channel_test.cpp.o: \
  /usr/include/c++/12/coroutine /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/task.hpp \
  /root/repo/src/sim/sync.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/sim/rng.hpp /root/repo/src/rdmach/basic_channel.hpp \
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/rdmach/basic_channel.hpp \
  /root/repo/src/rdmach/verbs_base.hpp /root/repo/src/ib/cq.hpp \
  /root/repo/src/ib/types.hpp /root/repo/src/ib/hca.hpp \
  /root/repo/src/ib/mr.hpp /root/repo/src/ib/qp.hpp \

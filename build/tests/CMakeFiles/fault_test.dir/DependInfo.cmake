@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/fault_test.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mpib_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ch3/CMakeFiles/mpib_ch3.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdmach/CMakeFiles/mpib_rdmach.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmi/CMakeFiles/mpib_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/mpib_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpib_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

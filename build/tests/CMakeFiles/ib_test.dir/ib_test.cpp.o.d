@@ -325,5 +325,6 @@ tests/CMakeFiles/ib_test.dir/ib_test.cpp.o: /root/repo/tests/ib_test.cpp \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/ib/fabric.hpp \
  /root/repo/src/ib/config.hpp /root/repo/src/ib/node.hpp \
  /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/sim/rng.hpp /root/repo/src/ib/hca.hpp \
- /root/repo/src/ib/mr.hpp /root/repo/src/ib/qp.hpp
+ /root/repo/src/sim/fault.hpp /root/repo/src/sim/rng.hpp \
+ /root/repo/src/ib/hca.hpp /root/repo/src/ib/mr.hpp \
+ /root/repo/src/ib/qp.hpp

@@ -324,11 +324,12 @@ tests/CMakeFiles/mpi_test.dir/mpi_test.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/coroutine \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/task.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
- /root/repo/src/mpi/runtime.hpp /root/repo/src/mpi/comm.hpp \
- /usr/include/c++/12/span /root/repo/src/mpi/datatype.hpp \
- /root/repo/src/mpi/types.hpp /root/repo/src/mpi/engine.hpp \
- /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
- /usr/include/c++/12/bits/list.tcc /root/repo/src/ch3/ch3.hpp \
- /root/repo/src/ch3/packet.hpp /root/repo/src/rdmach/channel.hpp \
- /root/repo/src/pmi/pmi.hpp /root/repo/src/mpi/request.hpp
+ /root/repo/src/sim/trace.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/rng.hpp /root/repo/src/mpi/runtime.hpp \
+ /root/repo/src/mpi/comm.hpp /usr/include/c++/12/span \
+ /root/repo/src/mpi/datatype.hpp /root/repo/src/mpi/types.hpp \
+ /root/repo/src/mpi/engine.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/ch3/ch3.hpp /root/repo/src/ch3/packet.hpp \
+ /root/repo/src/rdmach/channel.hpp /root/repo/src/pmi/pmi.hpp \
+ /root/repo/src/mpi/request.hpp

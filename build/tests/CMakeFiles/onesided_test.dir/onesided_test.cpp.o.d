@@ -324,14 +324,14 @@ tests/CMakeFiles/onesided_test.dir/onesided_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/ib/fabric.hpp \
  /root/repo/src/ib/config.hpp /root/repo/src/ib/node.hpp \
  /usr/include/c++/12/cstring /root/repo/src/sim/resource.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
- /root/repo/src/ib/hca.hpp /root/repo/src/ib/mr.hpp \
- /root/repo/src/ib/qp.hpp /root/repo/src/mpi/runtime.hpp \
- /root/repo/src/mpi/comm.hpp /usr/include/c++/12/span \
- /root/repo/src/mpi/datatype.hpp /root/repo/src/mpi/types.hpp \
- /root/repo/src/mpi/engine.hpp /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/ch3/ch3.hpp /root/repo/src/ch3/packet.hpp \
- /root/repo/src/rdmach/channel.hpp /root/repo/src/pmi/pmi.hpp \
- /root/repo/src/mpi/request.hpp /root/repo/src/mpi/window.hpp \
- /root/repo/src/rdmach/reg_cache.hpp
+ /root/repo/src/sim/trace.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/rng.hpp /root/repo/src/ib/hca.hpp \
+ /root/repo/src/ib/mr.hpp /root/repo/src/ib/qp.hpp \
+ /root/repo/src/mpi/runtime.hpp /root/repo/src/mpi/comm.hpp \
+ /usr/include/c++/12/span /root/repo/src/mpi/datatype.hpp \
+ /root/repo/src/mpi/types.hpp /root/repo/src/mpi/engine.hpp \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/ch3/ch3.hpp \
+ /root/repo/src/ch3/packet.hpp /root/repo/src/rdmach/channel.hpp \
+ /root/repo/src/pmi/pmi.hpp /root/repo/src/mpi/request.hpp \
+ /root/repo/src/mpi/window.hpp /root/repo/src/rdmach/reg_cache.hpp

@@ -322,6 +322,7 @@ tests/CMakeFiles/sdp_test.dir/sdp_test.cpp.o: \
  /root/repo/src/sim/simulator.hpp /usr/include/c++/12/coroutine \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/sim/task.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/sim/rng.hpp \
- /root/repo/src/pmi/pmi.hpp /root/repo/src/sdp/sdp.hpp \
- /root/repo/src/rdmach/channel.hpp /usr/include/c++/12/span
+ /root/repo/src/sim/trace.hpp /root/repo/src/sim/fault.hpp \
+ /root/repo/src/sim/rng.hpp /root/repo/src/pmi/pmi.hpp \
+ /root/repo/src/sdp/sdp.hpp /root/repo/src/rdmach/channel.hpp \
+ /usr/include/c++/12/span

@@ -16,4 +16,5 @@ include("/root/repo/build/tests/multimethod_test[1]_include.cmake")
 include("/root/repo/build/tests/datatype_test[1]_include.cmake")
 include("/root/repo/build/tests/sdp_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
 include("/root/repo/build/tests/coverage_test[1]_include.cmake")
