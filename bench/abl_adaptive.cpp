@@ -1,0 +1,129 @@
+// Ablation: the adaptive rendezvous engine against its ingredients.
+//
+// The paper's Figure 14 gap -- CH3's write-based rendezvous beating the
+// RDMA-channel zero-copy read in the 32K-256K band -- is what the adaptive
+// engine closes.  This bench shows each ingredient's contribution:
+//
+//   zerocopy            the baseline single-read rendezvous (Figure 14 loser)
+//   adaptive            full engine: selector + write path + read pipeline
+//   adaptive-no-qps     read pipeline collapsed to one read at a time
+//   adaptive-write-only read path disabled; every rendezvous is RDMA write
+//   ch3-direct          the CH3-level RDMA-write stack (Figure 14 winner)
+//
+// Also prints small-message latency (adaptive must track zero-copy) and the
+// selector's learned state after a mixed-size stream.  Emits
+// BENCH_adaptive.json with every measured point.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Series {
+  const char* name;
+  mpi::RuntimeConfig cfg;
+};
+
+mpi::RuntimeConfig adaptive_cfg() {
+  return benchutil::design_config(rdmach::Design::kAdaptive);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode(argc, argv);
+  benchutil::JsonResult json("abl_adaptive");
+
+  mpi::RuntimeConfig no_qps = adaptive_cfg();
+  no_qps.stack.channel.rndv_read_qps = 0;
+  mpi::RuntimeConfig write_only = adaptive_cfg();
+  write_only.stack.channel.rndv_read_threshold = std::size_t{1} << 30;
+  const Series series[] = {
+      {"zerocopy", benchutil::design_config(rdmach::Design::kZeroCopy)},
+      {"adaptive", adaptive_cfg()},
+      {"adaptive-no-qps", no_qps},
+      {"adaptive-write-only", write_only},
+      {"ch3-direct", benchutil::stack_config(ch3::Stack::kCh3Direct,
+                                             rdmach::Design::kPipeline)},
+  };
+
+  benchutil::title("Adaptive rendezvous ablation: MPI bandwidth (MB/s)");
+  std::printf("%8s", "size");
+  for (const Series& s : series) std::printf(" %20s", s.name);
+  std::printf("\n");
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64 * 1024, 256 * 1024}
+            : benchutil::sizes_pow2(16 * 1024, 1 << 20);
+  for (const std::size_t sz : sizes) {
+    std::printf("%8s", benchutil::human_size(sz).c_str());
+    for (const Series& s : series) {
+      const double mbps = benchutil::mpi_bandwidth_mbps(s.cfg, sz);
+      std::printf(" %20.1f", mbps);
+      json.add(s.name, sz, mbps, "MB/s");
+    }
+    std::printf("\n");
+  }
+
+  benchutil::title("Small-message MPI latency (us): adaptive vs zero-copy");
+  std::printf("%8s %12s %12s\n", "size", "zerocopy", "adaptive");
+  for (const std::size_t sz :
+       benchutil::sizes_4_to(smoke ? 256 : 16 * 1024)) {
+    const double zc = benchutil::mpi_latency_usec(series[0].cfg, sz);
+    const double ad = benchutil::mpi_latency_usec(series[1].cfg, sz);
+    std::printf("%8s %12.2f %12.2f\n", benchutil::human_size(sz).c_str(), zc,
+                ad);
+    json.add("latency-zerocopy", sz, zc, "us");
+    json.add("latency-adaptive", sz, ad, "us");
+  }
+
+  // Selector state after a mixed-size stream: per-protocol traffic split
+  // and the learned write/read crossover, read through the ChannelStats
+  // snapshot API.
+  rdmach::ChannelStats st;
+  benchutil::run_pair_rt(
+      adaptive_cfg(),
+      [&st](mpi::Runtime& rt, mpi::Communicator& world,
+            pmi::Context& ctx) -> sim::Task<void> {
+        (void)ctx;
+        const std::size_t kSizes[] = {2048, 40 * 1024, 96 * 1024, 256 * 1024};
+        std::vector<std::byte> buf(256 * 1024);
+        for (int round = 0; round < 24; ++round) {
+          for (const std::size_t sz : kSizes) {
+            const int n = static_cast<int>(sz);
+            if (world.rank() == 0) {
+              co_await world.send(buf.data(), n, mpi::Datatype::kByte, 1, 0);
+            } else {
+              co_await world.recv(buf.data(), n, mpi::Datatype::kByte, 0, 0);
+            }
+          }
+        }
+        if (world.rank() == 0) st = rt.engine().channel().channel_stats();
+      });
+
+  benchutil::title("ChannelStats after a mixed-size stream (rank 0 sender)");
+  std::printf("%12s %8s %14s %10s %10s\n", "protocol", "ops", "bytes",
+              "retries", "MB/s");
+  const struct {
+    const char* name;
+    const rdmach::ProtoStats* p;
+  } protos[] = {{"eager", &st.eager},
+                {"rndv-write", &st.rndv_write},
+                {"rndv-read", &st.rndv_read}};
+  for (const auto& pr : protos) {
+    std::printf("%12s %8llu %14llu %10llu %10.1f\n", pr.name,
+                static_cast<unsigned long long>(pr.p->ops),
+                static_cast<unsigned long long>(pr.p->bytes),
+                static_cast<unsigned long long>(pr.p->retries), pr.p->mbps);
+    json.add(std::string("stats-ops-") + pr.name, 0,
+             static_cast<double>(pr.p->ops), "ops");
+    json.add(std::string("stats-bytes-") + pr.name, 0,
+             static_cast<double>(pr.p->bytes), "bytes");
+  }
+  std::printf("eager threshold %zu, learned write/read crossover %zu\n",
+              st.eager_threshold, st.write_read_crossover);
+  json.add("stats-crossover", 0,
+           static_cast<double>(st.write_read_crossover), "bytes");
+
+  json.write("BENCH_adaptive.json");
+  return 0;
+}

@@ -48,6 +48,24 @@ inline void run_pair(
   sim.run();
 }
 
+/// run_pair variant whose body also receives the Runtime -- for benches
+/// that read engine/channel statistics before finalize.
+inline void run_pair_rt(
+    const mpi::RuntimeConfig& cfg,
+    const std::function<sim::Task<void>(mpi::Runtime&, mpi::Communicator&,
+                                        pmi::Context&)>& body) {
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  pmi::Job job(fabric, 2);
+  job.launch([&cfg, body](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, cfg);
+    co_await rt.init();
+    co_await body(rt, rt.world(), ctx);
+    co_await rt.finalize();
+  });
+  sim.run();
+}
+
 /// One-way MPI latency in microseconds for `msg`-byte messages.
 inline double mpi_latency_usec(const mpi::RuntimeConfig& cfg, std::size_t msg,
                                int iters = 30) {
@@ -175,6 +193,59 @@ inline std::string human_size(std::size_t s) {
 
 inline void title(const std::string& t) {
   std::printf("\n=== %s ===\n", t.c_str());
+}
+
+/// Machine-readable bench output: rows of (series, message size, value)
+/// collected during a run and dumped as one JSON file next to the console
+/// tables, so plots and regression checks need no text scraping.
+class JsonResult {
+ public:
+  explicit JsonResult(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& series, std::size_t msg_bytes, double value,
+           const std::string& unit) {
+    rows_.push_back(Row{series, unit, msg_bytes, value});
+  }
+
+  /// Writes `path` (overwriting); returns false when the file cannot be
+  /// opened.  Values use enough digits to round-trip a double.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
+                 bench_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"series\": \"%s\", \"msg_bytes\": %zu, "
+                   "\"value\": %.17g, \"unit\": \"%s\"}%s\n",
+                   r.series.c_str(), r.msg_bytes, r.value, r.unit.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    std::string unit;
+    std::size_t msg_bytes;
+    double value;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+/// True when argv carries --smoke: benches then run reduced sweeps so the
+/// `perf`-labelled ctest smokes stay fast.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
 }
 
 }  // namespace benchutil

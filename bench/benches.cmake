@@ -20,6 +20,7 @@ mpib_add_bench(fig13_14_ch3_vs_rdma)
 mpib_add_bench(fig15_verbs_read_write)
 mpib_add_bench(fig16_nas_a4)
 mpib_add_bench(fig17_nas_b8)
+mpib_add_bench(abl_adaptive)
 mpib_add_bench(abl_regcache)
 mpib_add_bench(abl_tail_update)
 mpib_add_bench(abl_threshold)
@@ -31,3 +32,14 @@ mpib_add_bench(nas_profile)
 
 mpib_add_bench(gb_components)
 target_link_libraries(gb_components PRIVATE benchmark::benchmark mpib_rdmach)
+
+# Bench smokes under the `perf` ctest label: the key perf benches run
+# end-to-end with reduced sweeps (--smoke), so a bandwidth or latency
+# regression surfaces from `ctest -L perf` without the full figure runs.
+add_test(NAME perf.smoke.abl_adaptive
+         COMMAND abl_adaptive --smoke)
+add_test(NAME perf.smoke.fig13_14_ch3_vs_rdma
+         COMMAND fig13_14_ch3_vs_rdma --smoke)
+set_tests_properties(perf.smoke.abl_adaptive perf.smoke.fig13_14_ch3_vs_rdma
+  PROPERTIES LABELS perf
+             WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

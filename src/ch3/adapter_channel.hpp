@@ -58,6 +58,8 @@ class AdapterChannel : public Ch3Channel, private PacketHandler {
   int rank() const override { return ctx_->rank; }
   int size() const override { return ctx_->size; }
 
+  rdmach::ChannelStats channel_stats() const override { return ch_->stats(); }
+
   rdmach::Channel& channel() noexcept { return *ch_; }
 
  private:

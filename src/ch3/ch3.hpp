@@ -106,6 +106,12 @@ class Ch3Channel {
 
   virtual int rank() const = 0;
   virtual int size() const = 0;
+
+  /// Protocol/traffic counters of the transport underneath (empty when the
+  /// implementation keeps none).
+  virtual rdmach::ChannelStats channel_stats() const {
+    return rdmach::ChannelStats{};
+  }
 };
 
 /// Which CH3 implementation an MPI job runs on.

@@ -44,6 +44,15 @@ class IbDirectChannel : public Ch3Channel, private PacketHandler {
 
   rdmach::RegCache& reg_cache() noexcept { return *cache_; }
 
+  /// Slot-ring eager traffic from the verbs member, plus the CH3-level
+  /// write-rendezvous volume this class drives itself.
+  rdmach::ChannelStats channel_stats() const override {
+    rdmach::ChannelStats s = verbs_->stats();
+    s.rndv_write.ops += rndv_write_ops_;
+    s.rndv_write.bytes += rndv_write_bytes_;
+    return s;
+  }
+
  private:
   /// Exposes the protected verbs plumbing of the slot-ring channel that
   /// the rendezvous path needs (QPs, WR ids, completion stash).
@@ -101,6 +110,8 @@ class IbDirectChannel : public Ch3Channel, private PacketHandler {
   std::vector<RecvReady> recv_ready_todo_;
   std::vector<PendingWrite> pending_writes_;
   std::vector<std::uint64_t> fin_done_;
+  std::uint64_t rndv_write_ops_ = 0;
+  std::uint64_t rndv_write_bytes_ = 0;
 };
 
 }  // namespace ch3

@@ -16,13 +16,23 @@ void StreamMux::enqueue(int dst, const PktHeader& hdr, const void* payload,
 
 bool StreamMux::idle() const {
   for (const auto& vc : vcs_) {
-    if (!vc.sendq.empty() || vc.hdr_got != 0 || vc.in_payload) return false;
+    if (!vc.sendq.empty() || !vc.await_release.empty() || vc.hdr_got != 0 ||
+        vc.in_payload || !vc.ahead.empty()) {
+      return false;
+    }
   }
   return true;
 }
 
+namespace {
+std::size_t expect_len(const PktHeader& hdr) {
+  return hdr.type == PktType::kEager ? hdr.match.length : 0;
+}
+}  // namespace
+
 sim::Task<bool> StreamMux::progress_send(int peer, Vc& vc) {
   bool moved = false;
+  rdmach::Connection& conn = ch_->connection(peer);
   while (!vc.sendq.empty()) {
     OutMsg& m = vc.sendq.front();
     const std::size_t hdr_size = sizeof(PktHeader);
@@ -39,8 +49,8 @@ sim::Task<bool> StreamMux::progress_send(int peer, Vc& vc) {
     }
     std::size_t k = 0;
     try {
-      k = co_await ch_->put(ch_->connection(peer),
-                            std::span<const rdmach::ConstIov>(iovs, n_iovs));
+      k = co_await ch_->put_pinned(
+          conn, std::span<const rdmach::ConstIov>(iovs, n_iovs));
     } catch (const rdmach::ChannelError& e) {
       throw VcError(peer, "vc to rank " + std::to_string(peer) +
                               " failed: " + e.what());
@@ -48,16 +58,61 @@ sim::Task<bool> StreamMux::progress_send(int peer, Vc& vc) {
     m.sent += k;
     moved |= k > 0;
     if (m.sent < hdr_size + m.len) break;  // pipe full / rendezvous pending
-    if (m.on_streamed) m.on_streamed();
+    // Fully accepted: the next frame may go out (rendezvous bytes of this
+    // one stay on loan), but completion is only reported at release.
+    if (m.on_streamed) {
+      vc.await_release.push_back(
+          PendingRelease{ch_->put_accepted(conn), std::move(m.on_streamed)});
+    }
     vc.sendq.pop_front();
   }
+  moved |= drain_releases(peer, vc);
   co_return moved;
+}
+
+bool StreamMux::drain_releases(int peer, Vc& vc) {
+  const std::uint64_t released = ch_->put_released(ch_->connection(peer));
+  bool fired = false;
+  while (!vc.await_release.empty() &&
+         vc.await_release.front().mark <= released) {
+    if (vc.await_release.front().on_streamed) {
+      vc.await_release.front().on_streamed();
+    }
+    vc.await_release.pop_front();
+    fired = true;
+  }
+  return fired;
 }
 
 sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
   bool moved = false;
   rdmach::Connection& conn = ch_->connection(peer);
   for (;;) {
+    if (!vc.in_payload && !vc.ahead.empty()) {
+      // The previous frame is done: promote the oldest ahead frame.  Its
+      // payload may already be fully drained (eager), in flight
+      // (attached rendezvous), or partial -- the regular paths below
+      // resume it from `got`.
+      AheadFrame f = std::move(vc.ahead.front());
+      vc.ahead.pop_front();
+      moved = true;
+      if (f.have_hdr) {
+        vc.rhdr = f.hdr;
+        vc.sink = f.sink;
+        vc.payload_got = f.got;
+        if (vc.payload_got >= expect_len(vc.rhdr)) {
+          if (vc.rhdr.type == PktType::kEager) {
+            handler_->on_payload_done(peer, vc.rhdr, vc.sink);
+          }
+          vc.hdr_got = 0;
+          continue;
+        }
+        vc.in_payload = true;
+      } else {
+        std::memcpy(vc.hdr_buf, f.hdr_buf, sizeof(PktHeader));
+        vc.hdr_got = f.hdr_got;
+      }
+    }
     if (!vc.in_payload) {
       std::size_t k = 0;
       try {
@@ -73,9 +128,7 @@ sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
       std::memcpy(&vc.rhdr, vc.hdr_buf, sizeof(PktHeader));
       vc.sink = handler_->on_packet(peer, vc.rhdr);
       vc.payload_got = 0;
-      const std::size_t expect =
-          vc.rhdr.type == PktType::kEager ? vc.rhdr.match.length : 0;
-      if (expect == 0) {
+      if (expect_len(vc.rhdr) == 0) {
         if (vc.rhdr.type == PktType::kEager) {
           handler_->on_payload_done(peer, vc.rhdr, vc.sink);
         }
@@ -95,10 +148,86 @@ sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
     }
     vc.payload_got += k;
     moved |= k > 0;
-    if (vc.payload_got < vc.rhdr.match.length) break;
+    if (vc.payload_got < vc.rhdr.match.length) {
+      const bool looked = co_await progress_lookahead(peer, vc);
+      moved |= looked;
+      break;
+    }
     handler_->on_payload_done(peer, vc.rhdr, vc.sink);
     vc.in_payload = false;
     vc.hdr_got = 0;
+  }
+  moved |= drain_releases(peer, vc);
+  co_return moved;
+}
+
+sim::Task<bool> StreamMux::progress_lookahead(int peer, Vc& vc) {
+  const std::size_t cap = ch_->rndv_lookahead();
+  if (cap == 0) co_return false;
+  bool moved = false;
+  rdmach::Connection& conn = ch_->connection(peer);
+  for (;;) {
+    // Invariant: every ahead frame but the last is complete (drained or
+    // attached); only the back can make progress at the pipe's cursor.
+    const bool back_done =
+        vc.ahead.empty() ||
+        (vc.ahead.back().have_hdr &&
+         (vc.ahead.back().attached ||
+          vc.ahead.back().got >= expect_len(vc.ahead.back().hdr)));
+    if (back_done) {
+      if (vc.ahead.size() >= cap) break;
+      vc.ahead.emplace_back();
+    }
+    AheadFrame& f = vc.ahead.back();
+    if (!f.have_hdr) {
+      const rdmach::Iov hiov{f.hdr_buf + f.hdr_got,
+                             sizeof(PktHeader) - f.hdr_got};
+      std::size_t k = 0;
+      try {
+        k = co_await ch_->get_ahead(conn,
+                                    std::span<const rdmach::Iov>(&hiov, 1));
+      } catch (const rdmach::ChannelError& e) {
+        throw VcError(peer, "vc to rank " + std::to_string(peer) +
+                                " failed: " + e.what());
+      }
+      f.hdr_got += k;
+      moved |= k > 0;
+      if (f.hdr_got < sizeof(PktHeader)) break;
+      std::memcpy(&f.hdr, f.hdr_buf, sizeof(PktHeader));
+      f.have_hdr = true;
+      f.sink = handler_->on_packet(peer, f.hdr);
+      moved = true;
+    }
+    const std::size_t expect = expect_len(f.hdr);
+    if (f.attached || f.got >= expect) continue;  // frame complete
+    if (f.got == 0) {
+      const rdmach::Iov siov{f.sink.dst, expect};
+      bool attached = false;
+      try {
+        attached = co_await ch_->attach_rndv(
+            conn, std::span<const rdmach::Iov>(&siov, 1));
+      } catch (const rdmach::ChannelError& e) {
+        throw VcError(peer, "vc to rank " + std::to_string(peer) +
+                                " failed: " + e.what());
+      }
+      if (attached) {
+        f.attached = true;
+        moved = true;
+        continue;
+      }
+    }
+    const rdmach::Iov piov{f.sink.dst + f.got, expect - f.got};
+    std::size_t k = 0;
+    try {
+      k = co_await ch_->get_ahead(conn,
+                                  std::span<const rdmach::Iov>(&piov, 1));
+    } catch (const rdmach::ChannelError& e) {
+      throw VcError(peer, "vc to rank " + std::to_string(peer) +
+                              " failed: " + e.what());
+    }
+    f.got += k;
+    moved |= k > 0;
+    if (f.got < expect) break;  // still in flight behind the head
   }
   co_return moved;
 }

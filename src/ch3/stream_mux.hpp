@@ -56,8 +56,35 @@ class StreamMux {
     std::function<void()> on_streamed;
   };
 
+  /// A fully accepted frame whose bytes the channel still holds on loan
+  /// (put_pinned): `on_streamed` fires once the release watermark passes
+  /// `mark`.  Channels without loaned rendezvous release on accept, so the
+  /// callback fires in the same progress pass as before.
+  struct PendingRelease {
+    std::uint64_t mark = 0;
+    std::function<void()> on_streamed;
+  };
+
+  /// A frame read *past* an in-flight rendezvous via the channel's
+  /// lookahead interface (rndv_lookahead() > 0).  Its header and any eager
+  /// payload bytes are drained out of the pipe behind the current frame;
+  /// a rendezvous payload is handed to the channel with attach_rndv() so
+  /// its data leg overlaps the current frame's.  When the current frame
+  /// completes, the oldest ahead frame is promoted in its place --
+  /// completion callbacks stay in stream order.
+  struct AheadFrame {
+    alignas(8) std::byte hdr_buf[sizeof(PktHeader)];
+    std::size_t hdr_got = 0;
+    bool have_hdr = false;
+    PktHeader hdr;
+    Sink sink;
+    std::size_t got = 0;    // payload bytes drained ahead (eager frames)
+    bool attached = false;  // rendezvous sink handed to the channel
+  };
+
   struct Vc {
     std::deque<OutMsg> sendq;
+    std::deque<PendingRelease> await_release;
     // receive framing
     alignas(8) std::byte hdr_buf[sizeof(PktHeader)];
     std::size_t hdr_got = 0;
@@ -65,10 +92,18 @@ class StreamMux {
     PktHeader rhdr;
     Sink sink;
     std::size_t payload_got = 0;
+    std::deque<AheadFrame> ahead;  // frames beyond the current payload
   };
 
   sim::Task<bool> progress_send(int peer, Vc& vc);
   sim::Task<bool> progress_recv(int peer, Vc& vc);
+  /// Reads frames behind an in-flight rendezvous payload (see AheadFrame).
+  sim::Task<bool> progress_lookahead(int peer, Vc& vc);
+  /// Fires on_streamed callbacks whose loaned bytes the channel released.
+  /// Called from both progress directions: the release-advancing ack can
+  /// be consumed by either, and the waiting sender must learn of it before
+  /// the next inbound frame is parsed.
+  bool drain_releases(int peer, Vc& vc);
 
   rdmach::Channel* ch_;
   PacketHandler* handler_;

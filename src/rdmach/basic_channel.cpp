@@ -66,6 +66,7 @@ sim::Task<std::size_t> BasicChannel::put(Connection& conn,
   }
 
   // 6. Return the number of bytes written.
+  note(eager_track_, n);
   co_return n;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "rdmach/adaptive_channel.hpp"
 #include "rdmach/basic_channel.hpp"
 #include "rdmach/multi_method_channel.hpp"
 #include "rdmach/piggyback_channel.hpp"
@@ -24,8 +25,43 @@ const char* to_string(Design d) {
       return "zero-copy";
     case Design::kMultiMethod:
       return "multi-method";
+    case Design::kAdaptive:
+      return "adaptive";
   }
   return "unknown";
+}
+
+sim::Task<std::size_t> Channel::put_pinned(Connection& conn,
+                                           std::span<const ConstIov> iovs) {
+  // Copying designs never hold a reference into the caller's buffers past
+  // the put call, so accept and release coincide.
+  const std::size_t k = co_await put(conn, iovs);
+  conn.loan_accepted += k;
+  conn.loan_released += k;
+  co_return k;
+}
+
+sim::Task<std::size_t> Channel::get_ahead(Connection& conn,
+                                          std::span<const Iov> iovs) {
+  (void)conn;
+  (void)iovs;
+  co_return 0;  // no lookahead support
+}
+
+sim::Task<bool> Channel::attach_rndv(Connection& conn,
+                                     std::span<const Iov> sink) {
+  (void)conn;
+  (void)sink;
+  co_return false;  // no lookahead support
+}
+
+ChannelStats Channel::stats() const {
+  ChannelStats s;
+  s.eager = snapshot(eager_track_);
+  s.rndv_write = snapshot(rndv_write_track_);
+  s.rndv_read = snapshot(rndv_read_track_);
+  s.eager_threshold = cfg_.zero_copy_threshold;
+  return s;
 }
 
 std::unique_ptr<Channel> Channel::create(pmi::Context& ctx,
@@ -50,6 +86,8 @@ std::unique_ptr<Channel> Channel::create(pmi::Context& ctx,
       return std::make_unique<ZeroCopyChannel>(ctx, cfg);
     case Design::kMultiMethod:
       return std::make_unique<MultiMethodChannel>(ctx, cfg);
+    case Design::kAdaptive:
+      return std::make_unique<AdaptiveChannel>(ctx, cfg);
   }
   throw std::invalid_argument("unknown channel design");
 }

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -78,6 +79,11 @@ enum class Design {
   /// zero-copy RDMA design across nodes (requires a pmi::Job built with
   /// ranks_per_node > 1 to have any intra-node pairs).
   kMultiMethod,
+  /// Adaptive rendezvous engine: eager slots below a threshold, then a
+  /// per-message choice between sender-driven RDMA-write rendezvous and a
+  /// chunked multi-QP RDMA-read pipeline, steered by an online selector
+  /// that tunes the crossover from observed per-protocol goodput.
+  kAdaptive,
 };
 
 const char* to_string(Design d);
@@ -111,6 +117,53 @@ struct ChannelConfig {
   sim::Tick recovery_backoff = sim::usec(20);
   /// Ceiling for the exponential backoff.
   sim::Tick recovery_backoff_cap = sim::usec(2000);
+
+  // ---- adaptive rendezvous engine (Design::kAdaptive) ---------------------
+  /// Static starting point for the write/read crossover: rendezvous of at
+  /// least this many bytes begin on the chunked-read pipeline, smaller ones
+  /// on the write path.  The online selector moves the boundary as observed
+  /// goodput accumulates.  (The eager/rendezvous boundary is
+  /// zero_copy_threshold, as in the zero-copy design.)
+  std::size_t rndv_read_threshold = 256 * 1024;
+  /// Chunk size of the multi-read pipeline; one read is outstanding per aux
+  /// QP (the HCA's one-outstanding-read limit), so a large pull becomes
+  /// ceil(len / chunk) reads striped over the aux QPs.
+  std::size_t rndv_read_chunk = 128 * 1024;
+  /// Auxiliary QP pairs per connection for the read pipeline.  0 degrades
+  /// to single-read-at-a-time on the main QP (the zero-copy behavior).
+  int rndv_read_qps = 4;
+  /// Every Nth rendezvous in a size bucket probes the protocol with fewer
+  /// samples instead of the current best (deterministic exploration).
+  /// 0 disables probing (pure static thresholds).
+  int selector_probe_interval = 32;
+  /// EWMA weight for new goodput observations in the selector.
+  double selector_alpha = 0.3;
+};
+
+/// Per-protocol transfer counters for ChannelStats.
+struct ProtoStats {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  /// Recovery re-posts of this protocol's in-flight operations.
+  std::uint64_t retries = 0;
+  /// Observed goodput (MB/s, MB = 1e6 B): selector EWMA for the rendezvous
+  /// protocols of the adaptive design, bytes-over-active-interval elsewhere.
+  double mbps = 0.0;
+};
+
+/// Snapshot of a channel's protocol decisions and per-protocol traffic;
+/// benches and tests read it through Channel::stats().
+struct ChannelStats {
+  ProtoStats eager;
+  ProtoStats rndv_write;
+  ProtoStats rndv_read;
+  /// Completed QP re-handshakes (all peers).
+  std::uint64_t recoveries = 0;
+  /// Current eager/rendezvous boundary in bytes.
+  std::size_t eager_threshold = 0;
+  /// Current write/read rendezvous crossover in bytes (adaptive design:
+  /// the selector's learned boundary; others: 0).
+  std::size_t write_read_crossover = 0;
 };
 
 /// Raised by put/get when a connection is beyond recovery: the retry budget
@@ -133,6 +186,13 @@ class Connection {
  public:
   virtual ~Connection() = default;
   int peer = -1;
+
+  /// Loan watermarks maintained by Channel::put_pinned (see there).  Bytes
+  /// with stream position < loan_released are no longer referenced by the
+  /// channel; [loan_released, loan_accepted) are on loan and must stay
+  /// stable.  Cumulative over the connection's lifetime.
+  std::uint64_t loan_accepted = 0;
+  std::uint64_t loan_released = 0;
 };
 
 class Channel {
@@ -159,6 +219,47 @@ class Channel {
   /// returning 0.
   virtual sim::Task<std::size_t> get(Connection& conn,
                                      std::span<const Iov> iovs) = 0;
+
+  /// Like put, but accepted bytes are *loaned*: the caller keeps them
+  /// stable and unchanged until the release watermark passes them
+  /// (put_released(conn) >= their stream position).  This lets zero-copy
+  /// rendezvous accept a large buffer immediately -- without blocking the
+  /// pipe behind its completion -- while the transfer still reads from the
+  /// caller's memory.  The default forwards to put (copying designs release
+  /// on accept).  Do not mix put and put_pinned on one connection.
+  virtual sim::Task<std::size_t> put_pinned(Connection& conn,
+                                            std::span<const ConstIov> iovs);
+
+  /// Cumulative bytes ever accepted / released by put_pinned on `conn`.
+  std::uint64_t put_accepted(const Connection& conn) const noexcept {
+    return conn.loan_accepted;
+  }
+  std::uint64_t put_released(const Connection& conn) const noexcept {
+    return conn.loan_released;
+  }
+
+  // ---- rendezvous lookahead -----------------------------------------------
+  /// get() parks on an in-flight rendezvous at the head of the pipe until
+  /// its data leg completes.  A framing-aware caller (ch3::StreamMux) can
+  /// overlap the data legs of *successive* messages: while the head is in
+  /// flight, get_ahead() drains the stream bytes queued behind it (the next
+  /// frames' headers and eager payloads), and attach_rndv() hands the
+  /// channel the sink for a rendezvous parked behind the head so its
+  /// transfer starts immediately instead of after the head retires.
+  /// Completion stays in stream order: bytes landed ahead are only
+  /// *reported* by get() once everything before them has been delivered.
+  ///
+  /// rndv_lookahead() returns how many rendezvous the channel can hold in
+  /// flight beyond the head; 0 (the default) means no lookahead support and
+  /// the other two calls are no-ops.
+  virtual std::size_t rndv_lookahead() const { return 0; }
+  virtual sim::Task<std::size_t> get_ahead(Connection& conn,
+                                           std::span<const Iov> iovs);
+  virtual sim::Task<bool> attach_rndv(Connection& conn,
+                                      std::span<const Iov> sink);
+
+  /// Snapshot of protocol decisions and per-protocol traffic counters.
+  virtual ChannelStats stats() const;
 
   // ---- conveniences -------------------------------------------------------
   // Coroutines (not plain forwarders) so the iov lives in the frame for the
@@ -190,8 +291,36 @@ class Channel {
   Channel(pmi::Context& ctx, const ChannelConfig& cfg)
       : ctx_(&ctx), cfg_(cfg) {}
 
+  /// Raw per-protocol accounting behind stats(); note() records an op and
+  /// the active interval used to derive an aggregate MB/s.
+  struct ProtoTrack {
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t retries = 0;
+    sim::Tick first = 0;
+    sim::Tick last = 0;
+  };
+  void note(ProtoTrack& t, std::size_t bytes) {
+    const sim::Tick now = ctx_->sim().now();
+    if (t.ops == 0) t.first = now;
+    t.last = now;
+    ++t.ops;
+    t.bytes += bytes;
+  }
+  static ProtoStats snapshot(const ProtoTrack& t) {
+    ProtoStats s{t.ops, t.bytes, t.retries, 0.0};
+    if (t.last > t.first && t.bytes > 0) {
+      s.mbps = static_cast<double>(t.bytes) /
+               (static_cast<double>(t.last - t.first) / sim::usec(1));
+    }
+    return s;
+  }
+
   pmi::Context* ctx_;
   ChannelConfig cfg_;
+  ProtoTrack eager_track_;
+  ProtoTrack rndv_write_track_;
+  ProtoTrack rndv_read_track_;
 };
 
 }  // namespace rdmach

@@ -5,6 +5,8 @@
 // SHMEM and network channels under CH3).
 #pragma once
 
+#include <algorithm>
+
 #include "rdmach/channel.hpp"
 #include "sim/sync.hpp"
 
@@ -31,6 +33,29 @@ class MultiMethodChannel : public Channel {
   /// The cross-node member channel (null before init); tests reach through
   /// it for recovery statistics.
   Channel* net() const noexcept { return net_.get(); }
+
+  /// Member-channel counters, summed (mbps: the busier member's figure).
+  ChannelStats stats() const override {
+    ChannelStats s;
+    const Channel* members[] = {shm_.get(), net_.get()};
+    for (const Channel* m : members) {
+      if (m == nullptr) continue;
+      const ChannelStats t = m->stats();
+      const ProtoStats* from[] = {&t.eager, &t.rndv_write, &t.rndv_read};
+      ProtoStats* to[] = {&s.eager, &s.rndv_write, &s.rndv_read};
+      for (int i = 0; i < 3; ++i) {
+        to[i]->ops += from[i]->ops;
+        to[i]->bytes += from[i]->bytes;
+        to[i]->retries += from[i]->retries;
+        to[i]->mbps = std::max(to[i]->mbps, from[i]->mbps);
+      }
+      s.recoveries += t.recoveries;
+      s.eager_threshold = std::max(s.eager_threshold, t.eager_threshold);
+      s.write_read_crossover =
+          std::max(s.write_read_crossover, t.write_read_crossover);
+    }
+    return s;
+  }
 
  private:
   struct Routed : Connection {

@@ -38,11 +38,18 @@ void PiggybackChannel::finish_slot(SlotConnection& c, std::size_t len) {
 }
 
 const SlotHeader* PiggybackChannel::peek_slot(SlotConnection& c) {
-  const std::size_t idx =
-      static_cast<std::size_t>(c.slots_consumed % slot_count());
+  return peek_slot_at(c, 0);
+}
+
+const SlotHeader* PiggybackChannel::peek_slot_at(SlotConnection& c,
+                                                 std::uint64_t depth) {
+  if (depth >= slot_count()) return nullptr;  // sender can't have sent it yet
+  const std::uint64_t abs = c.slots_consumed + depth;
+  const std::size_t idx = static_cast<std::size_t>(abs % slot_count());
   const std::byte* slot = c.recv_ring.data() + idx * cfg_.chunk_bytes;
   const auto* hdr = reinterpret_cast<const SlotHeader*>(slot);
-  const std::uint32_t gen = recv_gen(c);
+  const std::uint32_t gen =
+      static_cast<std::uint32_t>(abs / slot_count()) + 1;
   if (hdr->gen != gen) return nullptr;  // head flag not set
   std::uint32_t tail_flag = 0;
   std::memcpy(&tail_flag, slot + sizeof(SlotHeader) + hdr->payload_len,
@@ -54,8 +61,13 @@ const SlotHeader* PiggybackChannel::peek_slot(SlotConnection& c) {
 }
 
 const std::byte* PiggybackChannel::slot_payload(const SlotConnection& c) const {
+  return slot_payload_at(c, 0);
+}
+
+const std::byte* PiggybackChannel::slot_payload_at(const SlotConnection& c,
+                                                   std::uint64_t depth) const {
   const std::size_t idx =
-      static_cast<std::size_t>(c.slots_consumed % slot_count());
+      static_cast<std::size_t>((c.slots_consumed + depth) % slot_count());
   return c.recv_ring.data() + idx * cfg_.chunk_bytes + sizeof(SlotHeader);
 }
 
@@ -122,6 +134,7 @@ sim::Task<std::size_t> PiggybackChannel::put(Connection& conn,
     post_ring_write(c, p.off, p.bytes, p.off, /*signaled=*/false,
                     next_wr_id());
   }
+  if (accepted > 0) note(eager_track_, accepted);
   co_return accepted;
 }
 

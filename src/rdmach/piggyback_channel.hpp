@@ -30,6 +30,11 @@ enum class SlotKind : std::uint32_t {
   kData = 0xD1,
   kRts = 0xD2,  // zero-copy rendezvous request (ZeroCopyChannel)
   kAck = 0xD3,  // zero-copy completion acknowledgement
+  // Adaptive rendezvous engine (AdaptiveChannel):
+  kRtsWrite = 0xD4,  // rendezvous request, sender-driven RDMA-write path
+  kRtsRead = 0xD5,   // rendezvous request, chunked RDMA-read path
+  kCts = 0xD6,       // receiver's clear-to-send (registered sink window)
+  kAckTok = 0xD7,    // tokened rendezvous completion acknowledgement
 };
 
 struct SlotHeader {
@@ -123,6 +128,14 @@ class PiggybackChannel : public VerbsChannelBase {
   /// flags are not complete yet.  Also harvests the piggybacked tail.
   const SlotHeader* peek_slot(SlotConnection& c);
   const std::byte* slot_payload(const SlotConnection& c) const;
+
+  /// Like peek_slot/slot_payload but `depth` slots past the consume point
+  /// (depth 0 is the head).  Consumption stays strictly FIFO -- a caller
+  /// that drains a deeper slot must account for it and consume it only
+  /// once everything before it has been consumed.
+  const SlotHeader* peek_slot_at(SlotConnection& c, std::uint64_t depth);
+  const std::byte* slot_payload_at(const SlotConnection& c,
+                                   std::uint64_t depth) const;
 
   /// Marks the current receive slot consumed and sends a (possibly
   /// delayed) explicit tail update when due.

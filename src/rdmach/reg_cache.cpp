@@ -1,14 +1,21 @@
 #include "rdmach/reg_cache.hpp"
 
+#include <algorithm>
+
 namespace rdmach {
 
 sim::Task<ib::MemoryRegion*> RegCache::acquire(const void* addr,
                                                std::size_t len) {
   const auto* p = static_cast<const std::byte*>(addr);
   if (enabled_) {
-    // Find the cached region starting at or before p that covers [p, p+len).
+    // Find a cached region enclosing [p, p+len).  Entries are keyed by
+    // region start, so the match is not necessarily the nearest entry at or
+    // before p: a request inside a large cached registration may be
+    // preceded by smaller entries that start closer.  Walk backwards until
+    // no earlier entry could reach p (bounded by the longest cached
+    // region).
     auto it = entries_.upper_bound(p);
-    if (it != entries_.begin()) {
+    while (it != entries_.begin()) {
       --it;
       if (it->second.mr->contains(p, len)) {
         ++hits_;
@@ -16,6 +23,7 @@ sim::Task<ib::MemoryRegion*> RegCache::acquire(const void* addr,
         it->second.last_use = ++clock_;
         co_return it->second.mr;
       }
+      if (it->first + max_entry_len_ <= p) break;
     }
   }
   ++misses_;
@@ -40,8 +48,22 @@ sim::Task<ib::MemoryRegion*> RegCache::acquire(const void* addr,
     }
   }
   if (!enabled_) co_return mr;
+  // A fresh registration may share its start with a cached (shorter) one;
+  // the table holds one entry per start, so the stale entry must go.  If
+  // it is pinned by an in-flight transfer it cannot, and the new
+  // registration stays untracked -- release() deregisters such strays.
+  auto old = entries_.find(mr->addr());
+  if (old != entries_.end()) {
+    if (old->second.pins > 0) co_return mr;
+    ib::MemoryRegion* stale = old->second.mr;
+    bytes_ -= stale->length();
+    entries_.erase(old);
+    ++evictions_;
+    co_await pd_->deregister(stale);
+  }
   entries_[mr->addr()] = Entry{mr, 1, ++clock_};
   bytes_ += len;
+  max_entry_len_ = std::max(max_entry_len_, len);
   co_await evict_to_capacity();
   co_return mr;
 }
@@ -52,9 +74,15 @@ sim::Task<void> RegCache::release(ib::MemoryRegion* mr) {
     co_return;
   }
   auto it = entries_.find(mr->addr());
-  if (it != entries_.end() && it->second.mr == mr && it->second.pins > 0) {
-    --it->second.pins;
-    it->second.last_use = ++clock_;
+  if (it != entries_.end() && it->second.mr == mr) {
+    if (it->second.pins > 0) {
+      --it->second.pins;
+      it->second.last_use = ++clock_;
+    }
+  } else {
+    // Untracked stray (its start was held by a pinned entry at acquire
+    // time): nothing caches it, so the unpin is a deregistration.
+    co_await pd_->deregister(mr);
   }
   co_await evict_to_capacity();
 }

@@ -70,6 +70,9 @@ class RegCache {
   std::size_t capacity_;
   bool enabled_;
   std::map<const std::byte*, Entry> entries_;  // keyed by region start
+  /// High-water mark of any cached region's length; bounds how far below a
+  /// lookup address an enclosing entry's start can lie.
+  std::size_t max_entry_len_ = 0;
   std::size_t bytes_ = 0;
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;

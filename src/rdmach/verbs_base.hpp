@@ -96,6 +96,12 @@ class VerbsChannelBase : public Channel {
   /// How many QP re-handshakes this channel has completed (all peers).
   std::uint64_t recoveries() const noexcept { return recoveries_; }
 
+  ChannelStats stats() const override {
+    ChannelStats s = Channel::stats();
+    s.recoveries = recoveries_;
+    return s;
+  }
+
  protected:
   VerbsChannelBase(pmi::Context& ctx, const ChannelConfig& cfg)
       : Channel(ctx, cfg) {}
@@ -159,6 +165,11 @@ class VerbsChannelBase : public Channel {
                            std::size_t n, std::size_t ws);
 
   std::vector<std::unique_ptr<VerbsConnection>> conns_;  // [peer]; self null
+  /// Live QPs only; an error CQE whose qp_num is absent belongs to a torn
+  /// down epoch and must not re-trigger recovery.  Protected so designs
+  /// with auxiliary QPs (adaptive read pipeline) can enrol them for error
+  /// dispatch.
+  std::unordered_map<std::uint32_t, VerbsConnection*> qp_index_;
 
  private:
   /// One teardown + re-handshake + replay cycle.  Throws ChannelError when
@@ -180,9 +191,6 @@ class VerbsChannelBase : public Channel {
   ib::ProtectionDomain* pd_ = nullptr;
   ib::CompletionQueue* cq_ = nullptr;
   std::unordered_map<std::uint64_t, ib::Wc> completed_;
-  /// Live QPs only; an error CQE whose qp_num is absent belongs to a torn
-  /// down epoch and must not re-trigger recovery.
-  std::unordered_map<std::uint32_t, VerbsConnection*> qp_index_;
   std::uint64_t wr_seq_ = 0;
   std::uint64_t recoveries_ = 0;
 };

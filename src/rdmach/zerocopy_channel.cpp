@@ -70,6 +70,7 @@ sim::Task<std::size_t> ZeroCopyChannel::put(Connection& conn,
     c.rndv_mr = nullptr;
     const std::size_t len = c.rndv_len;
     c.rndv_len = 0;
+    note(rndv_read_track_, len);
     co_return len;
   }
 
@@ -218,6 +219,12 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
         consume_slot(c);
         break;
       }
+      case SlotKind::kRtsWrite:
+      case SlotKind::kRtsRead:
+      case SlotKind::kCts:
+      case SlotKind::kAckTok:
+        // Adaptive-engine slot kinds; never produced by a zero-copy peer.
+        throw std::logic_error("zerocopy: adaptive slot kind in ring");
     }
   }
 

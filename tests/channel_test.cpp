@@ -12,9 +12,11 @@
 #include "channel_test_util.hpp"
 #include "ib/fabric.hpp"
 #include "pmi/pmi.hpp"
+#include "rdmach/adaptive_channel.hpp"
 #include "rdmach/basic_channel.hpp"
 #include "rdmach/channel.hpp"
 #include "rdmach/piggyback_channel.hpp"
+#include "rdmach/protocol_selector.hpp"
 #include "rdmach/reg_cache.hpp"
 #include "rdmach/zerocopy_channel.hpp"
 #include "sim/rng.hpp"
@@ -66,7 +68,8 @@ INSTANTIATE_TEST_SUITE_P(AllDesigns, DesignTest,
                          ::testing::Values(Design::kShm, Design::kBasic,
                                            Design::kPiggyback,
                                            Design::kPipeline,
-                                           Design::kZeroCopy),
+                                           Design::kZeroCopy,
+                                           Design::kAdaptive),
                          [](const auto& info) {
                            std::string s = to_string(info.param);
                            for (auto& ch : s) {
@@ -182,10 +185,11 @@ TEST_P(DesignTest, PutBeyondRingCapacityCompletesPartially) {
       [&, gate](Channel& ch, Connection& c) -> sim::Task<void> {
         first_put = co_await ch.put(c, msg.data(), msg.size());
         // With the receiver quiescent, at most one ring's worth fits.  The
-        // zero-copy design accepts nothing: a large buffer goes rendezvous
-        // and put reports 0 until the ack (paper section 5).
+        // zero-copy and adaptive designs accept nothing: a large buffer goes
+        // rendezvous and put reports 0 until the ack (paper section 5).
         EXPECT_LT(first_put, msg.size());
-        if (GetParam() == Design::kZeroCopy) {
+        if (GetParam() == Design::kZeroCopy ||
+            GetParam() == Design::kAdaptive) {
           EXPECT_EQ(first_put, 0u);
         } else {
           EXPECT_GT(first_put, 0u);
@@ -290,6 +294,217 @@ TEST(ZeroCopyDesign, SmallMessagesStillUseRing) {
 }
 
 // ---------------------------------------------------------------------------
+// Adaptive rendezvous engine.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveDesign, MidBandMessageUsesZeroCopyWriteRendezvous) {
+  // 40K sits in the write band of the static thresholds (>= 32K eager max,
+  // < 256K read threshold): the transfer must be a sender-driven RDMA write
+  // straight between user buffers -- no read request leg, no payload copy.
+  sim::TraceSink sink;
+  Duo duo(Design::kAdaptive);
+  duo.fabric.attach_tracer(&sink);
+  constexpr std::size_t kN = 40 * 1024;
+  auto msg = pattern(kN, 61);
+  std::vector<std::byte> got(kN);
+  duo.run(
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        co_await send_all(ch, c, msg.data(), msg.size());
+      },
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        co_await recv_all(ch, c, got.data(), got.size());
+      });
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(sink.count("rdma_read"), 0u);
+  EXPECT_LT(sink.total_bytes("memcpy"), static_cast<std::int64_t>(kN / 100));
+}
+
+TEST(AdaptiveDesign, LargeMessageStripesChunkedReadsOverAuxQps) {
+  // 1M on the read pipeline: ceil(1M / 128K-chunk) = 8 RDMA reads, striped
+  // over the aux QPs so several are outstanding despite the one-read-per-QP
+  // limit; still zero-copy.
+  sim::TraceSink sink;
+  Duo duo(Design::kAdaptive);
+  duo.fabric.attach_tracer(&sink);
+  constexpr std::size_t kN = 1 << 20;
+  auto msg = pattern(kN, 62);
+  std::vector<std::byte> got(kN);
+  duo.run(
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        co_await send_all(ch, c, msg.data(), msg.size());
+      },
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        co_await recv_all(ch, c, got.data(), got.size());
+      });
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(sink.count("rdma_read"), 8u);
+  EXPECT_LT(sink.total_bytes("memcpy"), static_cast<std::int64_t>(kN / 100));
+}
+
+TEST(AdaptiveDesign, StatsCountEveryProtocolAfterMixedTraffic) {
+  // A mixed-size exchange must leave nonzero per-protocol counters in the
+  // ChannelStats snapshot: eager for the small messages, write rendezvous
+  // for the mid-band one, read rendezvous for the large one.
+  Duo duo(Design::kAdaptive);
+  const std::size_t small = 2048, mid = 40 * 1024, large = 256 * 1024;
+  auto ms = pattern(small, 63);
+  auto mm = pattern(mid, 64);
+  auto ml = pattern(large, 65);
+  std::vector<std::byte> gs(small), gm(mid), gl(large);
+  duo.run(
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        for (int i = 0; i < 4; ++i) co_await send_all(ch, c, ms.data(), small);
+        co_await send_all(ch, c, mm.data(), mid);
+        co_await send_all(ch, c, ml.data(), large);
+      },
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        for (int i = 0; i < 4; ++i) co_await recv_all(ch, c, gs.data(), small);
+        co_await recv_all(ch, c, gm.data(), mid);
+        co_await recv_all(ch, c, gl.data(), large);
+      });
+  EXPECT_EQ(gm, mm);
+  EXPECT_EQ(gl, ml);
+  const ChannelStats s = duo.ch[0]->stats();
+  EXPECT_GE(s.eager.ops, 4u);
+  EXPECT_GE(s.eager.bytes, 4 * small);
+  EXPECT_EQ(s.rndv_write.ops, 1u);
+  EXPECT_EQ(s.rndv_write.bytes, mid);
+  EXPECT_EQ(s.rndv_read.ops, 1u);
+  EXPECT_EQ(s.rndv_read.bytes, large);
+  EXPECT_GT(s.rndv_write.mbps, 0.0);
+  EXPECT_GT(s.rndv_read.mbps, 0.0);
+  EXPECT_EQ(s.eager_threshold, 32u * 1024);
+  EXPECT_EQ(s.write_read_crossover, 256u * 1024);
+  // The receiver initiated no rendezvous of its own.
+  const ChannelStats r = duo.ch[1]->stats();
+  EXPECT_EQ(r.rndv_write.ops + r.rndv_read.ops, 0u);
+  EXPECT_GE(r.eager.bytes, 0u);
+}
+
+TEST(AdaptiveDesign, SymmetricRendezvousBothDirections) {
+  // Both ranks run rendezvous toward each other at once; CTS/FIN bypass the
+  // slot rings (direct writes), so neither side can wedge the other's pipe.
+  Duo duo(Design::kAdaptive);
+  constexpr std::size_t kN = 192 * 1024;
+  auto m0 = pattern(kN, 71), m1 = pattern(kN, 72);
+  std::vector<std::byte> g0(kN), g1(kN);
+  auto body = [&](int me) {
+    return [&, me](Channel& ch, Connection& c) -> sim::Task<void> {
+      const auto& out = me == 0 ? m0 : m1;
+      auto& in = me == 0 ? g1 : g0;  // rank0 receives m1 into g1
+      std::size_t sent = 0, rcvd = 0;
+      while (sent < kN || rcvd < kN) {
+        const std::uint64_t gen = ch.activity_count();
+        bool moved = false;
+        if (sent < kN) {
+          const std::size_t k =
+              co_await ch.put(c, out.data() + sent, kN - sent);
+          sent += k;
+          moved |= k > 0;
+        }
+        if (rcvd < kN) {
+          const std::size_t k = co_await ch.get(c, in.data() + rcvd,
+                                                kN - rcvd);
+          rcvd += k;
+          moved |= k > 0;
+        }
+        if (!moved && ch.activity_count() == gen) {
+          co_await ch.wait_for_activity();
+        }
+      }
+    };
+  };
+  duo.run(body(0), body(1));
+  EXPECT_EQ(g1, m1);
+  EXPECT_EQ(g0, m0);
+}
+
+TEST(AdaptiveDesign, ReadQpsZeroDegradesToSingleReadAtATime) {
+  // rndv_read_qps = 0: the pipeline falls back to one read at a time on the
+  // main QP -- the zero-copy design's behavior -- and stays correct.
+  sim::TraceSink sink;
+  ChannelConfig base;
+  base.rndv_read_qps = 0;
+  Duo duo(Design::kAdaptive, base);
+  duo.fabric.attach_tracer(&sink);
+  constexpr std::size_t kN = 512 * 1024;
+  auto msg = pattern(kN, 73);
+  std::vector<std::byte> got(kN);
+  duo.run(
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        co_await send_all(ch, c, msg.data(), msg.size());
+      },
+      [&](Channel& ch, Connection& c) -> sim::Task<void> {
+        co_await recv_all(ch, c, got.data(), got.size());
+      });
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(sink.count("rdma_read"), 4u);  // 512K / 128K chunks, serial
+}
+
+// ---------------------------------------------------------------------------
+// Protocol selector (unit).
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolSelector, StaticThresholdsBeforeAnySamples) {
+  ProtocolSelector sel(ProtocolSelector::Config{32 * 1024, 64 * 1024, 32,
+                                                0.3});
+  EXPECT_EQ(sel.decision(16 * 1024), ProtocolSelector::Proto::kEager);
+  EXPECT_EQ(sel.decision(32 * 1024), ProtocolSelector::Proto::kWrite);
+  EXPECT_EQ(sel.decision(48 * 1024), ProtocolSelector::Proto::kWrite);
+  EXPECT_EQ(sel.decision(64 * 1024), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.decision(1 << 20), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.write_read_crossover(), 64u * 1024);
+}
+
+TEST(ProtocolSelector, LearnsCrossoverFromSyntheticGoodput) {
+  ProtocolSelector sel(ProtocolSelector::Config{32 * 1024, 64 * 1024, 32,
+                                                0.3});
+  // Synthetic history: at 96K (the 64K-128K bucket) the write path moves
+  // 96K in 100us (960 MB/s) while reads crawl at 96K/200us.  The learned
+  // decision must flip that bucket to write, moving the crossover past it.
+  for (int i = 0; i < 8; ++i) {
+    sel.record(ProtocolSelector::Proto::kWrite, 96 * 1024, 96 * 1024, 100.0);
+    sel.record(ProtocolSelector::Proto::kRead, 96 * 1024, 96 * 1024, 200.0);
+  }
+  EXPECT_EQ(sel.decision(96 * 1024), ProtocolSelector::Proto::kWrite);
+  EXPECT_EQ(sel.write_read_crossover(), 128u * 1024);
+
+  // Opposite evidence in the 32K-64K bucket pulls the crossover down to
+  // the eager boundary.
+  for (int i = 0; i < 8; ++i) {
+    sel.record(ProtocolSelector::Proto::kWrite, 40 * 1024, 40 * 1024, 200.0);
+    sel.record(ProtocolSelector::Proto::kRead, 40 * 1024, 40 * 1024, 50.0);
+  }
+  EXPECT_EQ(sel.decision(40 * 1024), ProtocolSelector::Proto::kRead);
+  // 128K and up still favors write (learned); below it read wins again, so
+  // the scan from eager_max finds 32K.
+  EXPECT_EQ(sel.write_read_crossover(), 32u * 1024);
+}
+
+TEST(ProtocolSelector, ProbesUnderSampledArmOnSchedule) {
+  ProtocolSelector sel(ProtocolSelector::Config{32 * 1024, 64 * 1024,
+                                                /*probe_interval=*/4, 0.3});
+  // Decisions 1-3 follow the static boundary (read at 128K); the 4th is a
+  // probe of the arm with fewer samples -- the write path.
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kWrite);
+  // With write now sampled (and read not), the next probe measures read.
+  sel.record(ProtocolSelector::Proto::kWrite, 128 * 1024, 128 * 1024, 100.0);
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kRead);
+  EXPECT_EQ(sel.choose(128 * 1024), ProtocolSelector::Proto::kRead);  // probe
+  // probe_interval = 0 disables probing entirely.
+  ProtocolSelector fixed(ProtocolSelector::Config{32 * 1024, 64 * 1024, 0,
+                                                  0.3});
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(fixed.choose(128 * 1024), ProtocolSelector::Proto::kRead);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Latency calibration at the channel level (MPI-level numbers add the MPI
 // stack overhead on top; see bench/fig*).
 // ---------------------------------------------------------------------------
@@ -343,6 +558,15 @@ TEST(Latency, ZeroCopySlightlyAbovePiggybackForSmall) {
   const double zc = one_way_latency_usec(Design::kZeroCopy);
   EXPECT_GE(zc, piggy - 0.01);
   EXPECT_LT(zc, piggy + 0.6);
+}
+
+TEST(Latency, AdaptiveMatchesZeroCopyForSmall) {
+  // The adaptive engine's small-message path is the same slot ring with the
+  // same per-call state-machine charge, so its latency must track the
+  // zero-copy design's within a fifth of a microsecond.
+  const double zc = one_way_latency_usec(Design::kZeroCopy);
+  const double ad = one_way_latency_usec(Design::kAdaptive);
+  EXPECT_LT(std::abs(ad - zc), 0.2);
 }
 
 // ---------------------------------------------------------------------------
@@ -451,6 +675,34 @@ TEST(RegCache, SubRangeOfCachedRegionHits) {
         EXPECT_EQ(cc.hits(), 1u);
       }(cache),
       "subrange");
+  rig.sim.run();
+}
+
+TEST(RegCache, EnclosingRegionBehindNearerStartStillHits) {
+  // Regression: the covering entry is not always the one whose start is the
+  // nearest predecessor of the request.  A short entry starting closer must
+  // not mask a longer, older entry that actually encloses the range -- the
+  // lookup has to keep walking back (bounded by the longest cached entry).
+  CacheRig rig;
+  RegCache cache(*rig.pd, 1 << 20, true);
+  static std::vector<std::byte> buf(64 * 1024);
+  rig.sim.spawn(
+      [](RegCache& cc) -> sim::Task<void> {
+        ib::MemoryRegion* small =
+            co_await cc.acquire(buf.data() + 16 * 1024, 4096);
+        co_await cc.release(small);
+        ib::MemoryRegion* whole = co_await cc.acquire(buf.data(), buf.size());
+        co_await cc.release(whole);
+        // [24K, 28K): nearest start is the small entry (ends at 20K); only
+        // the whole-buffer entry covers it.
+        ib::MemoryRegion* m = co_await cc.acquire(buf.data() + 24 * 1024,
+                                                  4096);
+        EXPECT_EQ(m, whole);
+        EXPECT_EQ(cc.hits(), 1u);
+        EXPECT_EQ(cc.misses(), 2u);
+        co_await cc.release(m);
+      }(cache),
+      "enclosing");
   rig.sim.run();
 }
 

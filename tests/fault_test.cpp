@@ -263,13 +263,14 @@ std::uint64_t recoveries_of(rdmach::Channel* ch) {
 /// entry).  Runs under a virtual-time deadline, never sim.run(), so a
 /// recovery bug shows up as unmet flags rather than a hung test binary.
 RunResult run_stream(rdmach::Design design, const Traffic& traffic,
-                     FaultPlan* plan, int recovery_max_attempts = 8) {
+                     FaultPlan* plan, int recovery_max_attempts = 8,
+                     rdmach::ChannelConfig base = {}) {
   RunResult rr;
   sim::Simulator sim;
   ib::Fabric fabric{sim};
   if (plan != nullptr) fabric.attach_faults(&plan->schedule);
   pmi::Job job{fabric, 2};
-  rdmach::ChannelConfig cfg;
+  rdmach::ChannelConfig cfg = base;
   cfg.design = design;
   cfg.recovery_max_attempts = recovery_max_attempts;
   std::unique_ptr<rdmach::Channel> ch[2];
@@ -321,7 +322,8 @@ INSTANTIATE_TEST_SUITE_P(AllRdmaDesigns, FaultDesignTest,
                                            rdmach::Design::kPiggyback,
                                            rdmach::Design::kPipeline,
                                            rdmach::Design::kZeroCopy,
-                                           rdmach::Design::kMultiMethod),
+                                           rdmach::Design::kMultiMethod,
+                                           rdmach::Design::kAdaptive),
                          [](const auto& info) {
                            std::string n = rdmach::to_string(info.param);
                            for (auto& c : n) {
@@ -417,6 +419,70 @@ TEST(ZeroCopyFault, BidirectionalStreamsRecoverIndependently) {
   EXPECT_EQ(got1, t0.bytes);
   EXPECT_GE(plan.schedule.killed(), 2u);
   EXPECT_GE(recoveries_of(ch[0].get()) + recoveries_of(ch[1].get()), 2u);
+}
+
+TEST(AdaptiveFault, ChunkedReadPipelineRecoversAfterAuxQpError) {
+  // One read-path rendezvous (256K = two 128K chunk reads on aux QPs); the
+  // receiver's very first WQE is the first chunk read -- kill it.  The aux
+  // QP errors, the main-QP epoch recovery runs, and replay must reset the
+  // aux QP in place and re-pull the failed chunk with a fresh destination
+  // registration.
+  const Traffic traffic =
+      Traffic::make(/*seed=*/8, /*messages=*/1, /*min_len=*/262144,
+                    /*max_len=*/262144);
+  FaultPlan plan;
+  plan.kill(1, 0);
+  RunResult rr = run_stream(rdmach::Design::kAdaptive, traffic, &plan);
+  EXPECT_EQ(rr.kills, 1u);
+  EXPECT_GE(rr.recoveries, 2u);  // both sides re-handshake
+  EXPECT_TRUE(rr.send_done);
+  ASSERT_TRUE(rr.recv_done);
+  EXPECT_EQ(rr.received, traffic.bytes);
+}
+
+TEST(AdaptiveFault, WriteRendezvousRecoversMidRound) {
+  // Force every rendezvous onto the write path (read threshold beyond any
+  // message) and kill the sender's data write.  The unsignaled data and FIN
+  // writes die with the QP; replay must re-post the whole open CTS round --
+  // data then FIN -- from the loaned source bytes.
+  rdmach::ChannelConfig base;
+  base.rndv_read_threshold = std::size_t{1} << 30;
+  const Traffic traffic =
+      Traffic::make(/*seed=*/9, /*messages=*/1, /*min_len=*/200000,
+                    /*max_len=*/200000);
+  FaultPlan plan;
+  plan.kill(0, 1);  // op 0 is the RTS slot write, op 1 the rendezvous data
+  RunResult rr = run_stream(rdmach::Design::kAdaptive, traffic, &plan,
+                            /*recovery_max_attempts=*/8, base);
+  EXPECT_EQ(rr.kills, 1u);
+  EXPECT_GE(rr.recoveries, 2u);
+  EXPECT_TRUE(rr.send_done);
+  ASSERT_TRUE(rr.recv_done);
+  EXPECT_EQ(rr.received, traffic.bytes);
+}
+
+TEST(AdaptiveFault, MixedRendezvousDifferentialAcrossFaults) {
+  // Rendezvous-heavy differential against the shared-memory oracle: message
+  // sizes span the eager, write, and read bands, with transport errors
+  // killed on both sides mid-stream.
+  const Traffic traffic = Traffic::make(/*seed=*/10, /*messages=*/12,
+                                        /*min_len=*/20'000,
+                                        /*max_len=*/300'000);
+  const RunResult oracle =
+      run_stream(rdmach::Design::kShm, traffic, /*plan=*/nullptr);
+  ASSERT_TRUE(oracle.recv_done);
+  ASSERT_EQ(oracle.received, traffic.bytes);
+
+  FaultPlan plan;
+  plan.kill(0, 5).kill(0, 40).kill(1, 2).kill(1, 30);
+  RunResult rr = run_stream(rdmach::Design::kAdaptive, traffic, &plan);
+  EXPECT_GE(rr.kills, 2u);
+  EXPECT_GE(rr.recoveries, 2u);
+  EXPECT_FALSE(rr.send_error);
+  EXPECT_FALSE(rr.recv_error);
+  EXPECT_TRUE(rr.send_done);
+  ASSERT_TRUE(rr.recv_done);
+  EXPECT_EQ(rr.received, oracle.received);
 }
 
 TEST(RecoveryBudget, ExhaustionSurfacesChannelErrorOnBothRanksWithoutHang) {
