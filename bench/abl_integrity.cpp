@@ -1,0 +1,74 @@
+// Ablation: the end-to-end integrity option's cost.
+//
+// `integrity_check` adds a CRC32C over every ring slot (header + payload),
+// rendezvous payload checksums carried in RTS/FIN, and value+CRC pairs on
+// the control-block replica writes -- all charged to the modeled memory
+// bus.  This bench sweeps latency and bandwidth with the knob off (the
+// default; wire format and figures bit-identical to the pre-integrity
+// code) and on, per design, so the protection's overhead stays visible.
+// Emits BENCH_integrity.json with every measured point.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Series {
+  const char* name;
+  mpi::RuntimeConfig cfg;
+};
+
+mpi::RuntimeConfig with_integrity(rdmach::Design design) {
+  mpi::RuntimeConfig cfg = benchutil::design_config(design);
+  cfg.stack.channel.integrity_check = true;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode(argc, argv);
+  benchutil::JsonResult json("abl_integrity");
+
+  const Series series[] = {
+      {"pipeline", benchutil::design_config(rdmach::Design::kPipeline)},
+      {"pipeline+crc", with_integrity(rdmach::Design::kPipeline)},
+      {"adaptive", benchutil::design_config(rdmach::Design::kAdaptive)},
+      {"adaptive+crc", with_integrity(rdmach::Design::kAdaptive)},
+  };
+
+  benchutil::title("Integrity ablation: MPI latency (us)");
+  std::printf("%8s", "size");
+  for (const Series& s : series) std::printf(" %14s", s.name);
+  std::printf("\n");
+  for (const std::size_t sz :
+       benchutil::sizes_4_to(smoke ? 256 : 16 * 1024)) {
+    std::printf("%8s", benchutil::human_size(sz).c_str());
+    for (const Series& s : series) {
+      const double us = benchutil::mpi_latency_usec(s.cfg, sz);
+      std::printf(" %14.2f", us);
+      json.add(std::string("latency-") + s.name, sz, us, "us");
+    }
+    std::printf("\n");
+  }
+
+  benchutil::title("Integrity ablation: MPI bandwidth (MB/s)");
+  std::printf("%8s", "size");
+  for (const Series& s : series) std::printf(" %14s", s.name);
+  std::printf("\n");
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64 * 1024, 256 * 1024}
+            : benchutil::sizes_pow2(4 * 1024, 1 << 20);
+  for (const std::size_t sz : sizes) {
+    std::printf("%8s", benchutil::human_size(sz).c_str());
+    for (const Series& s : series) {
+      const double mbps = benchutil::mpi_bandwidth_mbps(s.cfg, sz);
+      std::printf(" %14.1f", mbps);
+      json.add(std::string("bandwidth-") + s.name, sz, mbps, "MB/s");
+    }
+    std::printf("\n");
+  }
+
+  json.write("BENCH_integrity.json");
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "ib/types.hpp"
 #include "sim/sync.hpp"
@@ -27,15 +28,18 @@ class CompletionQueue {
     return wc;
   }
 
-  /// Blocks until the CQ is non-empty (it may have been drained by another
-  /// poller by the time the caller runs; re-check).
+  /// Blocks until the CQ is non-empty -- or has overrun, which a consumer
+  /// must notice too: the CQE it is waiting for may be among the dropped
+  /// ones (it may have been drained by another poller by the time the
+  /// caller runs; re-check).
   sim::Task<void> wait_nonempty() {
-    co_await sim::wait_until(arrived_, [this] { return !entries_.empty(); });
+    co_await sim::wait_until(arrived_,
+                             [this] { return !entries_.empty() || overrun_; });
   }
 
   /// Blocking convenience: poll, waiting as needed.
   sim::Task<Wc> next() {
-    co_await wait_nonempty();
+    co_await sim::wait_until(arrived_, [this] { return !entries_.empty(); });
     Wc wc = entries_.front();
     entries_.pop_front();
     co_return wc;
@@ -47,16 +51,42 @@ class CompletionQueue {
     arrived_.fire();
   }
 
+  /// Injected CQ overrun: the CQE could not be queued.  Real HCAs lose the
+  /// entry outright and raise an async error; we keep it aside so the
+  /// drain-and-rearm recovery path (VerbsChannelBase::drain_cq) can
+  /// resurface it as a flush -- waiters unblock, and the affected
+  /// connection replays instead of hanging on a completion that never
+  /// comes.
+  void overrun_drop(const Wc& wc) {
+    dropped_.push_back(wc);
+    overrun_ = true;
+    ++overruns_;
+    arrived_.fire();
+  }
+
+  /// True while dropped CQEs await rearm.
+  bool overrun() const noexcept { return overrun_; }
+
+  /// Clears the overrun condition and hands back the dropped entries.
+  std::deque<Wc> rearm() {
+    overrun_ = false;
+    return std::exchange(dropped_, {});
+  }
+
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t depth() const noexcept { return entries_.size(); }
   std::uint64_t total_completions() const noexcept { return total_; }
+  std::uint64_t overruns() const noexcept { return overruns_; }
   const std::string& name() const noexcept { return name_; }
 
  private:
   std::string name_;
   sim::Trigger arrived_;
   std::deque<Wc> entries_;
+  std::deque<Wc> dropped_;
+  bool overrun_ = false;
   std::uint64_t total_ = 0;
+  std::uint64_t overruns_ = 0;
 };
 
 }  // namespace ib

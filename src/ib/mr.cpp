@@ -12,6 +12,19 @@ sim::Task<MemoryRegion*> ProtectionDomain::register_memory(
     throw VerbsError("register_memory: empty region");
   }
   Fabric& fabric = hca_->fabric();
+  if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
+    // Scope "<node>.reg": injected pin-down exhaustion.  Surfaces like the
+    // real limit below -- before any pinning work is charged -- so callers
+    // exercise the same RegistrationError degradation path.
+    if (faults->check(hca_->node().name() + ".reg")) {
+      fabric.tracer().record(fabric.sim().now(), hca_->node().name(),
+                             "fault_reg", static_cast<std::int64_t>(length),
+                             0);
+      throw RegistrationError(
+          "register_memory: injected registration failure (resource "
+          "exhaustion)");
+    }
+  }
   const std::int64_t limit = fabric.cfg().max_registered_bytes;
   if (limit > 0 &&
       registered_bytes_ + static_cast<std::int64_t>(length) > limit) {

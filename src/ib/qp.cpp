@@ -136,17 +136,33 @@ void QueuePair::post_recv(RecvWr wr) {
 }
 
 void QueuePair::complete(CompletionQueue& cq, const Wc& wc, sim::Tick at) {
-  Node* n = &hca_->node();
-  hca_->fabric().sim().call_at(at, [&cq, wc, n] {
-    cq.push(wc);
-    // A CQE is node activity: progress loops sleeping on dma_arrival must
-    // wake for completions too (e.g. a rendezvous write finishing).
-    n->dma_arrival().fire();
-  });
+  // QPs live as long as their HCA; capturing `this` across the delay is
+  // safe (close() only flips the error flag).
+  hca_->fabric().sim().call_at(at, [this, &cq, wc] { deliver_wc(cq, wc); });
 }
 
 void QueuePair::complete_now(CompletionQueue& cq, const Wc& wc) {
+  deliver_wc(cq, wc);
+}
+
+void QueuePair::deliver_wc(CompletionQueue& cq, const Wc& wc) {
+  Fabric& fabric = hca_->fabric();
+  if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
+    // Any fault scheduled on the node's ".cq" scope models a CQ overrun:
+    // the entry cannot be queued and is lost from the consumer's view.
+    // The CQ keeps it aside so the channel's drain-and-rearm recovery can
+    // resurface it as a flush instead of hanging its waiter forever.
+    if (faults->check(node().name() + ".cq")) {
+      fabric.tracer().record(fabric.sim().now(), cq.name(), "cq_overrun", 0,
+                             wc.wr_id);
+      cq.overrun_drop(wc);
+      hca_->node().dma_arrival().fire();
+      return;
+    }
+  }
   cq.push(wc);
+  // A CQE is node activity: progress loops sleeping on dma_arrival must
+  // wake for completions too (e.g. a rendezvous write finishing).
   hca_->node().dma_arrival().fire();
 }
 
@@ -220,22 +236,38 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
 
   co_await sim.delay(cfg.wqe_overhead);
 
+  bool corrupt_payload = false;
   if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
     if (auto f = faults->check(node().name())) {
-      // Deterministic kill: model the full RC retry storm before the HCA
-      // gives up, then report the transport error a NAK round trip later.
-      // A fatal fault also moves the QP to the error state, as real retry
-      // exhaustion does (the random-injection path below deliberately does
-      // not -- see Inject.ExhaustedRetriesSurfaceAsTransportErrors).
-      fabric.tracer().record(sim.now(), tag, "fault_kill",
-                             static_cast<std::int64_t>(n), wr.wr_id);
-      co_await sim.delay(cfg.retry_count * cfg.retry_delay);
-      if (f->fatal) enter_error();
-      complete(*send_cq_,
-               Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0, qp_num_,
-                  false},
-               sim.now() + 2 * cfg.wire_latency);
-      co_return;
+      using Kind = sim::FaultSchedule::Fault::Kind;
+      if (f->kind == Kind::kCorrupt &&
+          (wr.opcode == Opcode::kRdmaWrite || wr.opcode == Opcode::kSend ||
+           wr.opcode == Opcode::kRdmaRead)) {
+        // Silent corruption: the operation completes as a normal success,
+        // but one payload bit flips in flight (an undetected link/DMA
+        // error -- beyond what the RC CRC catches).  For a read, the flip
+        // happens in the responder's reply.
+        fabric.tracer().record(sim.now(), tag, "fault_corrupt",
+                               static_cast<std::int64_t>(n), wr.wr_id);
+        corrupt_payload = true;
+      } else {
+        // Deterministic kill: model the full RC retry storm before the HCA
+        // gives up, then report the transport error a NAK round trip later.
+        // A fatal fault also moves the QP to the error state, as real retry
+        // exhaustion does (the random-injection path below deliberately
+        // does not -- see Inject.ExhaustedRetriesSurfaceAsTransportErrors).
+        // A kExhaust or kCorrupt fault landing here (atomics) degrades to a
+        // non-fatal kill.
+        fabric.tracer().record(sim.now(), tag, "fault_kill",
+                               static_cast<std::int64_t>(n), wr.wr_id);
+        co_await sim.delay(cfg.retry_count * cfg.retry_delay);
+        if (f->kind == Kind::kKill && f->fatal) enter_error();
+        complete(*send_cq_,
+                 Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0,
+                    qp_num_, false},
+                 sim.now() + 2 * cfg.wire_latency);
+        co_return;
+      }
     }
   }
 
@@ -285,6 +317,9 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
       fabric.tracer().record(sim.now(), tag, "rdma_write",
                              static_cast<std::int64_t>(n), wr.wr_id);
       auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
+      if (corrupt_payload && !staging->empty()) {
+        (*staging)[staging->size() / 2] ^= std::byte{1};
+      }
       const sim::Tick delivered = co_await fabric.book_path(
           node(), peer_->node(), static_cast<std::int64_t>(n));
       Node* dst_node = &peer_->node();
@@ -309,6 +344,9 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
       fabric.tracer().record(sim.now(), tag, "send",
                              static_cast<std::int64_t>(n), wr.wr_id);
       auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
+      if (corrupt_payload && !staging->empty()) {
+        (*staging)[staging->size() / 2] ^= std::byte{1};
+      }
       const sim::Tick delivered = co_await fabric.book_path(
           node(), peer_->node(), static_cast<std::int64_t>(n));
       QueuePair* peer = peer_;
@@ -368,7 +406,7 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
       QueuePair* peer = peer_;
       ReadRequest req{wr.opcode, wr.remote_addr, wr.rkey,    wr.sgl,
                       wr.wr_id,  wr.signaled,    wr.atomic_arg,
-                      wr.atomic_swap};
+                      wr.atomic_swap, corrupt_payload};
       sim.call_at(req_arrives, [peer, req = std::move(req)]() mutable {
         peer->responder_q_->push(std::move(req));
       });
@@ -434,6 +472,11 @@ sim::Task<void> QueuePair::responder_engine() {
     } else {
       std::memcpy(staging->data(),
                   reinterpret_cast<const std::byte*>(req.remote_addr), n);
+    }
+    if (req.corrupt && n > 0) {
+      (*staging)[n / 2] ^= std::byte{1};
+      fabric.tracer().record(sim.now(), tag, "fault_corrupt",
+                             static_cast<std::int64_t>(n), req.wr_id);
     }
     const sim::Tick delivered = co_await fabric.book_path(
         node(), initiator->node(), static_cast<std::int64_t>(n));

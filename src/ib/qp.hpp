@@ -116,6 +116,8 @@ class QueuePair {
     bool signaled = true;
     std::uint64_t atomic_arg = 0;
     std::uint64_t atomic_swap = 0;
+    /// Injected fault: flip a payload bit in the read response.
+    bool corrupt = false;
   };
 
   struct InboundSend {
@@ -130,6 +132,9 @@ class QueuePair {
 
   void complete(CompletionQueue& cq, const Wc& wc, sim::Tick at);
   void complete_now(CompletionQueue& cq, const Wc& wc);
+  /// Single point where a CQE reaches its CQ: consults the fault schedule's
+  /// "<node>.cq" scope so an injected overrun can drop it.
+  void deliver_wc(CompletionQueue& cq, const Wc& wc);
   void read_done();
   bool validate_local(const std::vector<Sge>& sgl, std::uint32_t need_access,
                       std::uint64_t wr_id, Opcode op);

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "rdmach/crc32c.hpp"
+
 namespace rdmach {
 
 namespace {
@@ -45,12 +47,16 @@ sim::Task<void> AdaptiveChannel::init() {
   for (int p = 0; p < size(); ++p) {
     if (p == rank()) continue;
     auto& c = static_cast<AdaptiveConnection&>(connection(p));
-    c.fin_flags.assign(kFinSlots, 0);
-    c.fin_src.assign(kFinSlots, 0);
+    // Two words per FIN slot -- {progress, round CRC} -- so one contiguous
+    // write carries the value and its check when integrity is on.
+    c.fin_flags.assign(2 * kFinSlots, 0);
+    c.fin_src.assign(2 * kFinSlots, 0);
     c.fin_mr = co_await pd().register_memory(
-        c.fin_flags.data(), kFinSlots * sizeof(std::uint64_t), ib::kAllAccess);
+        c.fin_flags.data(), 2 * kFinSlots * sizeof(std::uint64_t),
+        ib::kAllAccess);
     c.fin_src_mr = co_await pd().register_memory(
-        c.fin_src.data(), kFinSlots * sizeof(std::uint64_t), ib::kAllAccess);
+        c.fin_src.data(), 2 * kFinSlots * sizeof(std::uint64_t),
+        ib::kAllAccess);
     kvs.put_u64(akey(rank(), p, "fin_addr"),
                 reinterpret_cast<std::uint64_t>(c.fin_flags.data()));
     kvs.put_u64(akey(rank(), p, "fin_rkey"), c.fin_mr->rkey());
@@ -216,30 +222,45 @@ sim::Task<void> AdaptiveChannel::scan_ahead_ctrl(AdaptiveConnection& c) {
   }
 }
 
-sim::Task<void> AdaptiveChannel::start_rndv(AdaptiveConnection& c,
+sim::Task<bool> AdaptiveChannel::start_rndv(AdaptiveConnection& c,
                                             const ConstIov& big,
                                             ProtocolSelector::Proto proto,
                                             bool pinned) {
   AdaptiveConnection::OutRndv r;
-  r.token = c.next_token++;
   r.proto = proto;
   r.src = big.base;
   r.len = big.len;
   r.start = ctx_->sim().now();
   r.conc = static_cast<unsigned>(c.out.size()) + 1;
   r.legacy = !pinned;
-  r.mr = co_await cache_->acquire(big.base, big.len);
+  bool refused = false;
+  try {
+    r.mr = co_await cache_->acquire(big.base, big.len);
+  } catch (const ib::RegistrationError&) {
+    refused = true;  // co_await is illegal in a handler; flag and go
+  }
+  if (refused) co_return false;  // caller degrades to the copy path
+  r.token = c.next_token++;  // burn a token only once the start is certain
   AdaptiveRts rts{r.token, big.len, reinterpret_cast<std::uint64_t>(big.base),
                   r.mr->rkey()};
+  // The trailing crc word goes on the wire only when integrity is on,
+  // keeping the integrity-off RTS byte-identical to the original format.
+  std::size_t rts_w = sizeof(rts) - sizeof(rts.crc);
+  if (cfg_.integrity_check) {
+    rts.crc = crc32c(big.base, big.len);
+    charge_crc(big.len);
+    rts_w = sizeof(rts);
+  }
   const SlotKind kind = proto == ProtocolSelector::Proto::kRead
                             ? SlotKind::kRtsRead
                             : SlotKind::kRtsWrite;
-  post_ctrl_slot(c, kind, &rts, sizeof(rts));
+  post_ctrl_slot(c, kind, &rts, rts_w);
   c.out.push_back(r);
   if (pinned) {
     c.loan_accepted += big.len;
     c.segs.push_back(AdaptiveConnection::Seg{big.len, r.token, false});
   }
+  co_return true;
 }
 
 void AdaptiveChannel::handle_cts(AdaptiveConnection& c,
@@ -264,13 +285,22 @@ void AdaptiveChannel::handle_cts(AdaptiveConnection& c,
                               /*signaled=*/false});
     r.w_sent += m;
     const std::size_t fs = static_cast<std::size_t>(r.token % kFinSlots);
-    c.fin_src[fs] = r.w_sent;
+    c.fin_src[2 * fs] = r.w_sent;
+    std::size_t fin_w = sizeof(std::uint64_t);
+    if (cfg_.integrity_check) {
+      // The FIN carries the round's data CRC in the adjacent word; the
+      // 16-byte write lands atomically, so the flag vouches for both the
+      // data's arrival and its checksum.
+      c.fin_src[2 * fs + 1] = crc32c(r.src + r.round_base, m);
+      charge_crc(m);
+      fin_w = 2 * sizeof(std::uint64_t);
+    }
     wqp->post_send(ib::SendWr{
         next_wr_id(),
         ib::Opcode::kRdmaWrite,
-        {ib::Sge{reinterpret_cast<std::byte*>(&c.fin_src[fs]),
-                 sizeof(std::uint64_t), c.fin_src_mr->lkey()}},
-        c.r_fin_addr + fs * sizeof(std::uint64_t),
+        {ib::Sge{reinterpret_cast<std::byte*>(&c.fin_src[2 * fs]), fin_w,
+                 c.fin_src_mr->lkey()}},
+        c.r_fin_addr + fs * 2 * sizeof(std::uint64_t),
         c.r_fin_rkey,
         /*signaled=*/false});
     return;
@@ -373,7 +403,33 @@ sim::Task<std::size_t> AdaptiveChannel::engine(AdaptiveConnection& c,
     if (free_slots(c) == 0) break;  // no slot for the RTS
     const ConstIov& big = iovs[iv];
     const ProtocolSelector::Proto proto = sel_.choose(big.len);
-    co_await start_rndv(c, big, proto, pinned);
+    const bool started = co_await start_rndv(c, big, proto, pinned);
+    if (!started) {
+      // Registration refused (pin-down exhaustion): degrade to the
+      // pipelined copy path, and teach the selector the penalty -- an
+      // uncached bus-speed pass over the buffer -- so it stops preferring
+      // a protocol the HCA cannot currently serve.
+      ++reg_fallbacks_;
+      const ib::FabricConfig& f = ctx_->fabric().cfg();
+      sel_.record(proto, big.len, big.len,
+                  static_cast<double>(big.len) /
+                      (f.bus_mbps / f.copy_factor_uncached),
+                  1);
+      const ConstIov one = big;
+      const std::size_t k =
+          co_await PipelineChannel::put(c, std::span<const ConstIov>(&one, 1));
+      charged = true;
+      if (k > 0) {
+        if (pinned) {
+          c.loan_accepted += k;
+          c.segs.push_back(AdaptiveConnection::Seg{k, 0, true});
+        }
+        accepted += k;
+      }
+      if (k < big.len) break;  // ring full
+      ++iv;
+      continue;
+    }
     if (!pinned) {
       // Classic semantics: the rendezvous bytes are not counted until the
       // ack retires them; put keeps returning 0 for this buffer.
@@ -423,6 +479,14 @@ sim::Task<void> AdaptiveChannel::harvest_chunks(
     ch.mr = nullptr;
   }
   while (!r.chunks.empty() && r.chunks.front().done) {
+    if (cfg_.integrity_check) {
+      // Chunks retire in offset order, so the rolling CRC walks the sink
+      // contiguously; the whole message is checked against the RTS CRC
+      // once done reaches len.
+      const AdaptiveConnection::Chunk& ch = r.chunks.front();
+      r.crc_state = crc32c_update(r.crc_state, ch.dst, ch.len);
+      charge_crc(ch.len);
+    }
     r.done += r.chunks.front().len;
     r.chunks.pop_front();
   }
@@ -435,9 +499,36 @@ sim::Task<void> AdaptiveChannel::progress_inbound(AdaptiveConnection& c,
   for (auto& r : c.inq) {
     if (r.read) {
       co_await harvest_chunks(c, r);
+      if (cfg_.integrity_check && r.done == r.len && !r.verified) {
+        if (r.crc_state == static_cast<std::uint32_t>(r.crc_expect)) {
+          r.verified = true;
+        } else {
+          // Pulled bytes do not reproduce the RTS checksum: NACK through
+          // recovery and re-pull the whole message into the same sink.
+          // Nothing was reported yet (reporting is gated on verified), so
+          // placement offsets restart consistently at zero.
+          flag_integrity_failure(c);
+          r.done = 0;
+          r.issued = 0;
+          r.crc_state = 0;
+          r.chunks.clear();
+        }
+      }
     } else {
       const std::size_t fs = static_cast<std::size_t>(r.token % kFinSlots);
-      if (r.cts_open && c.fin_flags[fs] >= r.expect) {
+      if (r.cts_open && c.fin_flags[2 * fs] >= r.expect) {
+        if (cfg_.integrity_check) {
+          const std::size_t m = r.expect - r.done;
+          charge_crc(m);
+          if (crc32c(r.round_dst, m) !=
+              static_cast<std::uint32_t>(c.fin_flags[2 * fs + 1])) {
+            // Round data damaged in flight: NACK; recovery's replay
+            // rewrites the round and its FIN (fresh CRC) from the loaned
+            // source bytes, and this check runs again.
+            flag_integrity_failure(c);
+            continue;
+          }
+        }
         // The FIN flag proves the round's data landed in the sink.
         co_await cache_->release(r.dst_mr);
         r.dst_mr = nullptr;
@@ -448,10 +539,13 @@ sim::Task<void> AdaptiveChannel::progress_inbound(AdaptiveConnection& c,
   }
 
   // 2. Report the head's landed bytes first so iov offsets below see a
-  // consistent delivered/reported pair.
+  // consistent delivered/reported pair.  Integrity gates read-path bytes
+  // until the whole message verified (they land zero-copy in the caller's
+  // sink either way; only the reporting is withheld).
   if (delivered != nullptr) {
     auto& head = c.inq.front();
-    if (head.done > head.reported) {
+    const bool gated = cfg_.integrity_check && head.read && !head.verified;
+    if (!gated && head.done > head.reported) {
       *delivered += head.done - head.reported;
       head.reported = head.done;
     }
@@ -479,7 +573,19 @@ sim::Task<void> AdaptiveChannel::progress_inbound(AdaptiveConnection& c,
             std::min({cfg_.rndv_read_chunk, r.len - r.issued, piece.len});
         ch.qp = q;
         ch.dst = piece.base;
-        ch.mr = co_await cache_->acquire(piece.base, ch.len);
+        bool refused = false;
+        try {
+          ch.mr = co_await cache_->acquire(piece.base, ch.len);
+        } catch (const ib::RegistrationError&) {
+          refused = true;  // co_await is illegal in a handler; flag and go
+        }
+        if (refused) {
+          // Transient pin-down exhaustion: stop issuing and retry on a
+          // later pass (the wakeup keeps pollers from parking).
+          ++reg_fallbacks_;
+          schedule_retry_wakeup();
+          break;
+        }
         ch.wr = next_wr_id();
         r.chunks.push_back(ch);
         post_chunk_read(c, r, r.chunks.back());
@@ -494,12 +600,23 @@ sim::Task<void> AdaptiveChannel::progress_inbound(AdaptiveConnection& c,
       }
       if (piece.len > 0) {
         const std::size_t m = std::min(r.len - r.done, piece.len);
-        r.dst_mr = co_await cache_->acquire(piece.base, m);
-        AdaptiveCts cts{r.token, reinterpret_cast<std::uint64_t>(piece.base),
-                        r.dst_mr->rkey(), m};
-        post_ctrl_slot(c, SlotKind::kCts, &cts, sizeof(cts));
-        r.expect = r.done + m;
-        r.cts_open = true;
+        bool refused = false;
+        try {
+          r.dst_mr = co_await cache_->acquire(piece.base, m);
+        } catch (const ib::RegistrationError&) {
+          refused = true;  // co_await is illegal in a handler; flag and go
+        }
+        if (refused) {
+          ++reg_fallbacks_;
+          schedule_retry_wakeup();
+        } else {
+          AdaptiveCts cts{r.token, reinterpret_cast<std::uint64_t>(piece.base),
+                          r.dst_mr->rkey(), m};
+          post_ctrl_slot(c, SlotKind::kCts, &cts, sizeof(cts));
+          r.round_dst = piece.base;
+          r.expect = r.done + m;
+          r.cts_open = true;
+        }
       }
     }
   }
@@ -512,12 +629,17 @@ sim::Task<void> AdaptiveChannel::progress_inbound(AdaptiveConnection& c,
   // loan, and the consume burst frees the RTS slot plus the drained-ahead
   // slots between it and the next stop point.
   auto& head = c.inq.front();
-  if (delivered != nullptr && head.done > head.reported) {
+  const bool head_gated =
+      cfg_.integrity_check && head.read && !head.verified;
+  if (delivered != nullptr && !head_gated && head.done > head.reported) {
     *delivered += head.done - head.reported;
     head.reported = head.done;
   }
   if (head.done == head.len && head.reported == head.len) {
-    if (!head.read) c.fin_flags[head.token % kFinSlots] = 0;
+    if (!head.read) {
+      c.fin_flags[2 * (head.token % kFinSlots)] = 0;
+      c.fin_flags[2 * (head.token % kFinSlots) + 1] = 0;
+    }
     const std::uint64_t token = head.token;
     c.inq.pop_front();
     consume_slot(c);  // the RTS slot
@@ -574,14 +696,16 @@ sim::Task<std::size_t> AdaptiveChannel::get(Connection& conn,
       }
       case SlotKind::kRtsRead:
       case SlotKind::kRtsWrite: {
-        AdaptiveRts rts;
-        std::memcpy(&rts, slot_payload(c), sizeof(rts));
+        AdaptiveRts rts;  // crc stays 0 for a pre-integrity short RTS
+        std::memcpy(&rts, slot_payload(c),
+                    std::min<std::size_t>(hdr->payload_len, sizeof(rts)));
         AdaptiveConnection::InRndv r;
         r.token = rts.token;
         r.read = static_cast<SlotKind>(hdr->kind) == SlotKind::kRtsRead;
         r.len = static_cast<std::size_t>(rts.len);
         r.src_addr = rts.addr;
         r.src_rkey = static_cast<std::uint32_t>(rts.rkey);
+        r.crc_expect = rts.crc;
         // The RTS slot stays at the pipe head (FIFO order) until the
         // rendezvous completes.
         c.inq.push_back(std::move(r));
@@ -661,8 +785,9 @@ sim::Task<bool> AdaptiveChannel::attach_rndv(Connection& conn,
   if (kind != SlotKind::kRtsRead && kind != SlotKind::kRtsWrite) {
     co_return false;
   }
-  AdaptiveRts rts;
-  std::memcpy(&rts, slot_payload_at(c, ahead_depth(c)), sizeof(rts));
+  AdaptiveRts rts;  // crc stays 0 for a pre-integrity short RTS
+  std::memcpy(&rts, slot_payload_at(c, ahead_depth(c)),
+              std::min<std::size_t>(hdr->payload_len, sizeof(rts)));
   if (total_length(sink) < rts.len) co_return false;  // partial sinks stay
                                                       // on the head flow
   AdaptiveConnection::InRndv r;
@@ -671,6 +796,7 @@ sim::Task<bool> AdaptiveChannel::attach_rndv(Connection& conn,
   r.len = static_cast<std::size_t>(rts.len);
   r.src_addr = rts.addr;
   r.src_rkey = static_cast<std::uint32_t>(rts.rkey);
+  r.crc_expect = rts.crc;
   r.sink.assign(sink.begin(), sink.end());
   r.sink_len = total_length(sink);
   r.gap_before = c.tail_drained;  // drained slots between the previous RTS
@@ -715,6 +841,7 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
       ch.failed = false;
       post_chunk_read(c, r, ch);
       ++rndv_read_track_.retries;
+      ++retransmits_;
     }
   }
 
@@ -738,16 +865,25 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
                    r.w_rkey,
                    /*signaled=*/false});
     const std::size_t fs = static_cast<std::size_t>(r.token % kFinSlots);
-    c.fin_src[fs] = r.w_sent;
+    c.fin_src[2 * fs] = r.w_sent;
+    std::size_t fin_w = sizeof(std::uint64_t);
+    if (cfg_.integrity_check) {
+      // Fresh round CRC with the rewrite: if the original data write was
+      // the corrupted one, the receiver's pending FIN check now passes.
+      c.fin_src[2 * fs + 1] = crc32c(r.src + r.round_base, m);
+      charge_crc(m);
+      fin_w = 2 * sizeof(std::uint64_t);
+    }
     wqp->post_send(ib::SendWr{
         next_wr_id(),
         ib::Opcode::kRdmaWrite,
-        {ib::Sge{reinterpret_cast<std::byte*>(&c.fin_src[fs]),
-                 sizeof(std::uint64_t), c.fin_src_mr->lkey()}},
-        c.r_fin_addr + fs * sizeof(std::uint64_t),
+        {ib::Sge{reinterpret_cast<std::byte*>(&c.fin_src[2 * fs]), fin_w,
+                 c.fin_src_mr->lkey()}},
+        c.r_fin_addr + fs * 2 * sizeof(std::uint64_t),
         c.r_fin_rkey,
         /*signaled=*/false});
     ++rndv_write_track_.retries;
+    retransmits_ += 2;
   }
 }
 

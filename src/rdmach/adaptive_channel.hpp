@@ -48,6 +48,9 @@ struct AdaptiveRts {
   std::uint64_t len = 0;
   std::uint64_t addr = 0;
   std::uint64_t rkey = 0;
+  /// CRC32C of the whole message (integrity_check only); the read path
+  /// verifies the assembled sink against it before reporting bytes.
+  std::uint64_t crc = 0;
 };
 
 /// kCts slot payload: one registered sink window of the receiver.
@@ -140,6 +143,14 @@ class AdaptiveConnection : public SlotConnection {
     bool cts_open = false;
     std::size_t expect = 0;
     ib::MemoryRegion* dst_mr = nullptr;
+    /// Start of the open round's sink window (integrity: the FIN-carried
+    /// round CRC is verified over [round_dst, round_dst + expect - done)).
+    std::byte* round_dst = nullptr;
+    // Integrity (read path): rolling CRC over the retired chunk prefix, the
+    // RTS-advertised whole-message CRC, and whether it has been reproduced.
+    std::uint32_t crc_state = 0;
+    std::uint64_t crc_expect = 0;
+    bool verified = false;
     /// Slots drained ahead *between* the previous entry's RTS slot and this
     /// one's (frame headers, eager payloads, control slots); consumed in
     /// one burst when the previous entry retires.
@@ -219,7 +230,9 @@ class AdaptiveChannel : public PipelineChannel {
   /// Consumes leading control slots (CTS, ack) so a sender stuck in put
   /// still makes rendezvous progress.
   sim::Task<void> progress_sender(AdaptiveConnection& c);
-  sim::Task<void> start_rndv(AdaptiveConnection& c, const ConstIov& big,
+  /// False when the source registration was refused (pin-down exhaustion):
+  /// nothing was posted and the caller should fall back to the copy path.
+  sim::Task<bool> start_rndv(AdaptiveConnection& c, const ConstIov& big,
                              ProtocolSelector::Proto proto, bool pinned);
   void handle_cts(AdaptiveConnection& c, const AdaptiveCts& cts);
   sim::Task<void> handle_ack(AdaptiveConnection& c, std::uint64_t token);

@@ -37,6 +37,13 @@ class BasicChannel : public VerbsChannelBase {
   /// forward to the watermark the peer published.
   sim::Task<void> replay(VerbsConnection& c,
                          std::uint64_t peer_consumed) override;
+
+ private:
+  /// Integrity path of get(): extends the verified incoming prefix by
+  /// checking new ring bytes [verified_head, head_replica) against the
+  /// sender's rolling stream CRC; on mismatch flags the NACK and leaves
+  /// the readable head where it was.
+  std::uint64_t verify_incoming(VerbsConnection& c);
 };
 
 }  // namespace rdmach

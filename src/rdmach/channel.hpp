@@ -107,6 +107,17 @@ struct ChannelConfig {
   bool use_reg_cache = true;
   std::size_t reg_cache_capacity = 64u << 20;
 
+  // ---- end-to-end integrity -----------------------------------------------
+  /// Adds a CRC32C to every ring slot header and rendezvous completion and
+  /// verifies it at the receiver: a payload bit flipped in flight is
+  /// detected instead of silently delivered, NACKed through the recovery
+  /// handshake, and retransmitted under the recovery retry budget
+  /// (ChannelError::kIntegrity on exhaustion).  The checksum cost is
+  /// charged to the modelled memory bus, so turning this on has a
+  /// measurable price (bench/abl_integrity.cpp); off by default so the
+  /// fault-free figure baselines are bit-identical.
+  bool integrity_check = false;
+
   // ---- connection recovery ------------------------------------------------
   /// How many consecutive recovery attempts (QP teardown + re-handshake +
   /// replay) a connection may make without either direction's consumed
@@ -159,6 +170,20 @@ struct ChannelStats {
   ProtoStats rndv_read;
   /// Completed QP re-handshakes (all peers).
   std::uint64_t recoveries = 0;
+  // ---- integrity / degradation counters (all monotone) --------------------
+  /// Receiver-side CRC32C mismatches (integrity_check on).
+  std::uint64_t crc_failures = 0;
+  /// Units re-posted by recovery replay (ring slots, reads, write rounds).
+  std::uint64_t retransmits = 0;
+  /// Rendezvous demoted to the pipelined copy path (or deferred) because a
+  /// buffer registration was refused.
+  std::uint64_t reg_fallbacks = 0;
+  /// CQEs dropped by an injected CQ overrun and resurfaced via
+  /// drain-and-rearm recovery.
+  std::uint64_t cq_overruns = 0;
+  /// put() attempts turned away by credit denial (receiver-not-ready
+  /// backpressure instead of deadlock).
+  std::uint64_t credit_stalls = 0;
   /// Current eager/rendezvous boundary in bytes.
   std::size_t eager_threshold = 0;
   /// Current write/read rendezvous crossover in bytes (adaptive design:
@@ -172,12 +197,19 @@ struct ChannelStats {
 /// connection is dead.
 class ChannelError : public std::runtime_error {
  public:
-  ChannelError(int peer, const std::string& what)
-      : std::runtime_error(what), peer_(peer) {}
+  /// What exhausted the budget: kDead = transport errors (QPs kept dying),
+  /// kIntegrity = repeated end-to-end CRC mismatches that retransmission
+  /// could not clear.
+  enum Kind { kDead, kIntegrity };
+
+  ChannelError(int peer, const std::string& what, Kind kind = kDead)
+      : std::runtime_error(what), peer_(peer), kind_(kind) {}
   int peer() const noexcept { return peer_; }
+  Kind kind() const noexcept { return kind_; }
 
  private:
   int peer_;
+  Kind kind_;
 };
 
 /// Per-peer endpoint handle.  Concrete channels subclass this with their

@@ -1,0 +1,54 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) -- the
+// checksum behind the integrity layer (ChannelConfig::integrity_check).
+// Software table implementation; the *modelled* cost is charged separately
+// to the node's memory bus (VerbsChannelBase::charge_crc), so the overhead
+// shows up in virtual time rather than host time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rdmach {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Folds `len` bytes into a running CRC32C state.  States compose:
+/// crc32c_update(crc32c_update(0, a), b) == crc32c(a || b); start from 0.
+inline std::uint32_t crc32c_update(std::uint32_t crc, const void* data,
+                                   std::size_t len) {
+  const auto& t = detail::crc32c_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (len-- > 0) {
+    crc = t[(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c_update(0, data, len);
+}
+
+/// Self-check word for an 8-byte counter (head/tail control updates carry
+/// their own CRC so a corrupted pointer word is detectable in place).
+inline std::uint32_t crc32c_u64(std::uint64_t v) {
+  return crc32c_update(0, &v, sizeof(v));
+}
+
+}  // namespace rdmach

@@ -50,6 +50,11 @@ class MultiMethodChannel : public Channel {
         to[i]->mbps = std::max(to[i]->mbps, from[i]->mbps);
       }
       s.recoveries += t.recoveries;
+      s.crc_failures += t.crc_failures;
+      s.retransmits += t.retransmits;
+      s.reg_fallbacks += t.reg_fallbacks;
+      s.cq_overruns += t.cq_overruns;
+      s.credit_stalls += t.credit_stalls;
       s.eager_threshold = std::max(s.eager_threshold, t.eager_threshold);
       s.write_read_crossover =
           std::max(s.write_read_crossover, t.write_read_crossover);

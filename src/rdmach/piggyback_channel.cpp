@@ -1,7 +1,10 @@
 #include "rdmach/piggyback_channel.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstring>
+
+#include "rdmach/crc32c.hpp"
 
 namespace rdmach {
 
@@ -34,6 +37,14 @@ void PiggybackChannel::finish_slot(SlotConnection& c, std::size_t len) {
   std::byte* slot = c.staging.data() + idx * cfg_.chunk_bytes;
   const std::uint32_t gen = send_gen(c);
   std::memcpy(slot + sizeof(SlotHeader) + len, &gen, sizeof(gen));
+  if (cfg_.integrity_check) {
+    // The staged header's crc word is still zero (begin_slot wrote it so):
+    // checksum header + payload in place and drop the result into the slot.
+    // The tail flag is excluded -- it is the arrival signal, not data.
+    const std::uint32_t crc = crc32c(slot, sizeof(SlotHeader) + len);
+    std::memcpy(slot + offsetof(SlotHeader, crc), &crc, sizeof(crc));
+    charge_crc(sizeof(SlotHeader) + len);
+  }
   ++c.slots_sent;
 }
 
@@ -51,13 +62,46 @@ const SlotHeader* PiggybackChannel::peek_slot_at(SlotConnection& c,
   const std::uint32_t gen =
       static_cast<std::uint32_t>(abs / slot_count()) + 1;
   if (hdr->gen != gen) return nullptr;  // head flag not set
+  if (hdr->payload_len > slot_capacity()) {
+    // A corrupted length would index the tail flag outside the slot; NACK
+    // instead of reading wild memory.  (Without the integrity option the
+    // header is trusted, as in the paper's designs.)
+    if (cfg_.integrity_check) flag_integrity_failure(c);
+    return nullptr;
+  }
   std::uint32_t tail_flag = 0;
   std::memcpy(&tail_flag, slot + sizeof(SlotHeader) + hdr->payload_len,
               sizeof(tail_flag));
   if (tail_flag != gen) return nullptr;  // message body still in flight
+  // Verify before the piggyback harvest: a corrupted piggyback_tail must
+  // not leak into the credit machinery.
+  if (cfg_.integrity_check && !verify_slot(c, abs, slot, hdr)) return nullptr;
   // Harvest the piggybacked tail update for our sending direction.
   if (hdr->piggyback_tail > c.tail_piggy) c.tail_piggy = hdr->piggyback_tail;
   return hdr;
+}
+
+bool PiggybackChannel::verify_slot(SlotConnection& c, std::uint64_t abs,
+                                   const std::byte* slot,
+                                   const SlotHeader* hdr) {
+  if (c.slot_crc_ok.size() != slot_count()) {
+    c.slot_crc_ok.assign(slot_count(), 0);
+  }
+  const std::size_t idx = static_cast<std::size_t>(abs % slot_count());
+  if (c.slot_crc_ok[idx] == hdr->gen) return true;  // already verified
+  SlotHeader h = *hdr;
+  h.crc = 0;  // the sender checksummed with this word zeroed
+  std::uint32_t crc = crc32c_update(0, &h, sizeof(h));
+  crc = crc32c_update(crc, slot + sizeof(SlotHeader), hdr->payload_len);
+  charge_crc(sizeof(SlotHeader) + hdr->payload_len);
+  if (crc != hdr->crc) {
+    // Slot damaged in flight: NACK through recovery; the sender's replay
+    // rewrites every unconsumed staged slot bit-for-bit.
+    flag_integrity_failure(c);
+    return false;
+  }
+  c.slot_crc_ok[idx] = hdr->gen;
+  return true;
 }
 
 const std::byte* PiggybackChannel::slot_payload(const SlotConnection& c) const {
@@ -90,6 +134,7 @@ sim::Task<std::size_t> PiggybackChannel::put(Connection& conn,
   auto& c = static_cast<SlotConnection&>(conn);
   co_await call_overhead();
   co_await maybe_recover(c);
+  if (credit_denied()) co_return 0;
 
   const std::size_t total = total_length(iovs);
   const std::size_t cap = slot_capacity();
@@ -177,6 +222,12 @@ sim::Task<void> PiggybackChannel::replay(VerbsConnection& conn,
   // handshake watermark supersedes them.
   c.tail_piggy = std::max(c.tail_piggy, peer_consumed);
   c.ctrl.tail_replica = std::max(c.ctrl.tail_replica, peer_consumed);
+  c.tail_valid = std::max(c.tail_valid, peer_consumed);
+  if (cfg_.integrity_check) {
+    // Keep the resynced replica's self-check consistent so checked_tail
+    // never trips on handshake-derived state.
+    c.ctrl.tail_replica_crc = crc32c_u64(c.ctrl.tail_replica);
+  }
 
   // Re-post every staged slot the peer has not consumed.  Slot lengths are
   // recovered from the retained staged headers; slots the peer already has
@@ -190,6 +241,7 @@ sim::Task<void> PiggybackChannel::replay(VerbsConnection& conn,
     const std::size_t slot_bytes = sizeof(SlotHeader) + hdr.payload_len + 4;
     post_ring_write(c, ring_off, slot_bytes, ring_off, /*signaled=*/false,
                     next_wr_id());
+    ++retransmits_;
   }
   co_return;
 }

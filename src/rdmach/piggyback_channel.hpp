@@ -41,7 +41,10 @@ struct SlotHeader {
   std::uint32_t payload_len = 0;
   std::uint32_t gen = 0;  // head flag
   std::uint32_t kind = 0;
-  std::uint32_t reserved = 0;
+  /// CRC32C over the header (this word zeroed) + payload, written with the
+  /// slot when ChannelConfig::integrity_check is on; zero otherwise.  The
+  /// "bottom-fill" flags gain their checksum word here.
+  std::uint32_t crc = 0;
   std::uint64_t piggyback_tail = 0;
 };
 static_assert(sizeof(SlotHeader) == 24);
@@ -61,6 +64,10 @@ class SlotConnection : public VerbsConnection {
   std::uint64_t slots_consumed = 0;   // mirrored into ctrl.tail_master
   std::size_t cur_slot_off = 0;       // payload bytes already delivered
   std::uint64_t consumed_since_update = 0;
+  /// Integrity: per-slot-index generation whose CRC already verified, so a
+  /// ready slot is checksummed once, not on every poll (lazily sized to
+  /// slot_count()).
+  std::vector<std::uint32_t> slot_crc_ok;
 
   // -- zero-copy sender state (ZeroCopyChannel) ------------------------------
   bool rndv_active = false;
@@ -81,6 +88,14 @@ class SlotConnection : public VerbsConnection {
                                     // start earlier); recovery re-reads here
   ib::MemoryRegion* r_dst_mr = nullptr;
   bool ack_pending = false;
+
+  // -- zero-copy receiver integrity (ChannelConfig::integrity_check) ---------
+  /// Whole-message CRC advertised in the RTS; the rolling state over landed
+  /// reads; and bytes landed but not yet reported to the caller (reporting
+  /// is deferred until the message verifies).
+  std::uint64_t r_crc_expect = 0;
+  std::uint32_t r_crc = 0;
+  std::size_t r_unreported = 0;
 };
 
 class PiggybackChannel : public VerbsChannelBase {
@@ -106,8 +121,11 @@ class PiggybackChannel : public VerbsChannelBase {
     return std::make_unique<SlotConnection>();
   }
 
-  std::size_t free_slots(const SlotConnection& c) const {
-    const std::uint64_t consumed = std::max(c.ctrl.tail_replica, c.tail_piggy);
+  std::size_t free_slots(SlotConnection& c) {
+    // The explicit tail replica goes through its self-check (integrity on)
+    // so corrupted credit cannot overrun live slots; piggybacked tails ride
+    // inside CRC-verified slots and are trusted once harvested.
+    const std::uint64_t consumed = std::max(checked_tail(c), c.tail_piggy);
     return slot_count() - static_cast<std::size_t>(c.slots_sent - consumed);
   }
 
@@ -140,6 +158,12 @@ class PiggybackChannel : public VerbsChannelBase {
   /// Marks the current receive slot consumed and sends a (possibly
   /// delayed) explicit tail update when due.
   void consume_slot(SlotConnection& c);
+
+  /// Integrity check for the slot at absolute index `abs` (already
+  /// flag-complete).  Verified slots are cached per (index, gen); a
+  /// mismatch NACKs via flag_integrity_failure and returns false.
+  bool verify_slot(SlotConnection& c, std::uint64_t abs,
+                   const std::byte* slot, const SlotHeader* hdr);
 
   std::size_t tail_threshold() const {
     return cfg_.tail_update_slots != 0 ? cfg_.tail_update_slots

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "rdmach/crc32c.hpp"
+#include "sim/fault.hpp"
+
 namespace rdmach {
 
 namespace {
@@ -106,7 +109,9 @@ sim::Task<void> VerbsChannelBase::drain_connection(VerbsConnection& c) {
     // later) -- wait it out so drain_cq sees the verdict.
     co_await sim.delay(2 * ctx_->fabric().cfg().wire_latency + 1);
     drain_cq();
-    if (!c.rec.failed && !peer_epoch_pending(c)) co_return;
+    if (!c.rec.failed && !c.integrity_failed && !peer_epoch_pending(c)) {
+      co_return;
+    }
   }
 }
 
@@ -186,10 +191,13 @@ void VerbsChannelBase::post_ring_write(VerbsConnection& c,
 }
 
 void VerbsChannelBase::post_head_update(VerbsConnection& c) {
+  // With integrity on, the 16-byte write carries the value together with
+  // its CRC word (the basic design keeps head_master_crc current).
+  const std::size_t w = cfg_.integrity_check ? 16 : 8;
   c.qp->post_send(ib::SendWr{
       next_wr_id(),
       ib::Opcode::kRdmaWrite,
-      {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlHeadMasterOff, 8,
+      {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlHeadMasterOff, w,
                c.ctrl_mr->lkey()}},
       c.r_ctrl_addr + kCtrlHeadReplicaOff,
       c.r_ctrl_rkey,
@@ -197,10 +205,16 @@ void VerbsChannelBase::post_head_update(VerbsConnection& c) {
 }
 
 void VerbsChannelBase::post_tail_update(VerbsConnection& c) {
+  std::size_t w = 8;
+  if (cfg_.integrity_check) {
+    c.ctrl.tail_master_crc = crc32c_u64(c.ctrl.tail_master);
+    charge_crc(sizeof(c.ctrl.tail_master));
+    w = 16;
+  }
   c.qp->post_send(ib::SendWr{
       next_wr_id(),
       ib::Opcode::kRdmaWrite,
-      {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlTailMasterOff, 8,
+      {ib::Sge{reinterpret_cast<std::byte*>(&c.ctrl) + kCtrlTailMasterOff, w,
                c.ctrl_mr->lkey()}},
       c.r_ctrl_addr + kCtrlTailReplicaOff,
       c.r_ctrl_rkey,
@@ -218,6 +232,20 @@ void VerbsChannelBase::drain_cq() {
       if (it != qp_index_.end()) it->second->rec.failed = true;
     }
     completed_[wc->wr_id] = *wc;
+  }
+  if (cq_->overrun()) {
+    // Drain-and-rearm: an injected overrun dropped CQEs before they were
+    // queued.  Their true verdicts are unknowable (real HCAs lose them
+    // outright), so resurface each as a flush on its connection -- waiters
+    // unblock, the connection recovers, and replay (idempotent) redelivers
+    // whatever the lost completions covered.
+    for (ib::Wc wc : cq_->rearm()) {
+      wc.status = ib::WcStatus::kFlushError;
+      auto it = qp_index_.find(wc.qp_num);
+      if (it != qp_index_.end()) it->second->rec.failed = true;
+      completed_[wc.wr_id] = wc;
+      ++cq_overruns_;
+    }
   }
 }
 
@@ -254,10 +282,59 @@ sim::Task<void> VerbsChannelBase::maybe_recover(VerbsConnection& c) {
       throw ChannelError(c.peer, "connection to rank " +
                                      std::to_string(c.peer) + " is dead");
     }
-    if (!c.rec.failed && !peer_epoch_pending(c)) co_return;
+    if (!c.rec.failed && !c.integrity_failed && !peer_epoch_pending(c)) {
+      co_return;
+    }
     co_await recover(c);
     drain_cq();
   }
+}
+
+sim::Task<void> VerbsChannelBase::flush_crc_charge() {
+  while (pending_crc_bytes_ > 0) {
+    const std::size_t n = pending_crc_bytes_;
+    pending_crc_bytes_ = 0;
+    co_await node().bus().transfer(static_cast<std::int64_t>(n));
+  }
+}
+
+void VerbsChannelBase::flag_integrity_failure(VerbsConnection& c) {
+  ++crc_failures_;
+  c.integrity_failed = true;
+  node().dma_arrival().fire();
+}
+
+std::uint64_t VerbsChannelBase::checked_tail(VerbsConnection& c) {
+  if (!cfg_.integrity_check) return c.ctrl.tail_replica;
+  const std::uint64_t t = c.ctrl.tail_replica;
+  if (t > c.tail_valid) {
+    charge_crc(sizeof(t));
+    if (crc32c_u64(t) == static_cast<std::uint32_t>(c.ctrl.tail_replica_crc)) {
+      c.tail_valid = t;
+    } else {
+      // A lying tail word (e.g. corrupted garbage-high) must not mint ring
+      // credit.  No NACK needed: tail updates are repeated, so the next
+      // clean one heals this without a round trip.
+      ++crc_failures_;
+    }
+  }
+  return c.tail_valid;
+}
+
+bool VerbsChannelBase::credit_denied() {
+  sim::FaultSchedule* faults = ctx_->fabric().faults();
+  if (faults == nullptr) return false;
+  if (!faults->check(node().name() + ".credit")) return false;
+  ++credit_stalls_;
+  schedule_retry_wakeup();
+  return true;
+}
+
+void VerbsChannelBase::schedule_retry_wakeup() {
+  sim::Simulator& sim = ctx_->sim();
+  ib::Node* n = &node();
+  sim.call_at(sim.now() + ctx_->fabric().cfg().retry_delay,
+              [n] { n->dma_arrival().fire(); });
 }
 
 bool VerbsChannelBase::peer_epoch_pending(VerbsConnection& c) const {
@@ -277,17 +354,27 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
   sim::Simulator& sim = ctx_->sim();
   const std::uint64_t next_epoch = c.rec.epoch + 1;
 
+  // A CRC-mismatch NACK colors this attempt run: should the budget run out
+  // before a clean retransmission lands, the error reports an integrity
+  // exhaustion rather than a transport death.
+  if (c.integrity_failed) c.rec.integrity = true;
+
   if (++c.rec.attempts > cfg_.recovery_max_attempts) {
     // Publish the verdict *before* throwing so the peer -- possibly parked
     // inside its own handshake wait -- is released rather than deadlocked.
     c.rec.dead = true;
     kvs.put(dead_key(rank(), c.peer), "1");
     wake_peer(c);
-    throw ChannelError(c.peer,
-                       "connection to rank " + std::to_string(c.peer) +
-                           " beyond recovery: " +
-                           std::to_string(cfg_.recovery_max_attempts) +
-                           " consecutive attempts without progress");
+    const ChannelError::Kind kind =
+        c.rec.integrity ? ChannelError::kIntegrity : ChannelError::kDead;
+    throw ChannelError(
+        c.peer,
+        "connection to rank " + std::to_string(c.peer) +
+            " beyond recovery: " +
+            std::to_string(cfg_.recovery_max_attempts) +
+            " consecutive attempts without progress" +
+            (kind == ChannelError::kIntegrity ? " (integrity)" : ""),
+        kind);
   }
 
   // Bounded exponential backoff before touching the wire again.
@@ -342,6 +429,10 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
 
   c.rec.epoch = next_epoch;
   c.rec.failed = false;
+  // The NACK is consumed: the re-handshake tells the sender to retransmit
+  // (replay below on its side).  A fresh mismatch on the retransmitted data
+  // will re-arm it.
+  c.integrity_failed = false;
   qp_index_[c.qp->qp_num()] = &c;
   ++recoveries_;
 
@@ -351,6 +442,7 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
   if (peer_consumed > c.rec.last_synced ||
       local_consumed > c.rec.last_synced_local) {
     c.rec.attempts = 0;
+    c.rec.integrity = false;
   }
   c.rec.last_synced = peer_consumed;
   c.rec.last_synced_local = local_consumed;

@@ -35,23 +35,34 @@
 
 namespace rdmach {
 
-/// Registered control block; offsets are part of the wire protocol.
+/// Registered control block; offsets are part of the wire protocol.  Each
+/// counter is paired with a CRC word directly behind it so that, with
+/// integrity checking on, one contiguous 16-byte RDMA write carries the
+/// value together with its self-check (with it off, the 8-byte value alone
+/// is written and the CRC words stay zero).
 struct alignas(64) CtrlBlock {
   /// Written by the peer: how much of MY outgoing stream it has consumed.
   std::uint64_t tail_replica = 0;
+  /// CRC32C of the tail value, written with it (integrity_check only).
+  std::uint64_t tail_replica_crc = 0;
   /// Written by the peer: how much it has produced into MY incoming ring
   /// (used by the basic design only; the others piggyback/flag instead).
   std::uint64_t head_replica = 0;
+  /// Basic design, integrity on: the sender's rolling stream CRC32C over
+  /// bytes [0, head_replica) of this direction.
+  std::uint64_t head_replica_crc = 0;
   /// My outgoing produced count (RDMA-write source for head updates).
   std::uint64_t head_master = 0;
+  std::uint64_t head_master_crc = 0;
   /// My incoming consumed count (RDMA-write source for tail updates).
   std::uint64_t tail_master = 0;
+  std::uint64_t tail_master_crc = 0;
 };
 
 inline constexpr std::size_t kCtrlTailReplicaOff = 0;
-inline constexpr std::size_t kCtrlHeadReplicaOff = 8;
-inline constexpr std::size_t kCtrlHeadMasterOff = 16;
-inline constexpr std::size_t kCtrlTailMasterOff = 24;
+inline constexpr std::size_t kCtrlHeadReplicaOff = 16;
+inline constexpr std::size_t kCtrlHeadMasterOff = 32;
+inline constexpr std::size_t kCtrlTailMasterOff = 48;
 
 class VerbsConnection : public Connection {
  public:
@@ -76,9 +87,29 @@ class VerbsConnection : public Connection {
     std::uint64_t last_synced_local = 0;  // my consumed mark at last epoch
     bool failed = false;  // an error CQE implicated the current QP
     bool dead = false;    // retry budget exhausted (here or at the peer)
+    /// The current attempt run includes a CRC-mismatch NACK; colors the
+    /// budget-exhaustion error ChannelError::kIntegrity.  Cleared with
+    /// `attempts` whenever a recovery makes progress.
+    bool integrity = false;
   };
   Recovery rec;
   ib::Node* peer_node = nullptr;  // for CM-style recovery wakeups
+
+  // ---- end-to-end integrity state (ChannelConfig::integrity_check) --------
+  /// Basic design: rolling CRC32C over every byte ever put / verified on
+  /// this direction.
+  std::uint32_t send_crc = 0;
+  std::uint32_t recv_crc = 0;
+  /// Basic design: incoming stream prefix whose CRC has been verified;
+  /// get() never reads past it.
+  std::uint64_t verified_head = 0;
+  /// Highest tail_replica value that passed its self-check word; credit
+  /// computations use this, so a corrupted (garbage-high) tail cannot fake
+  /// ring space.
+  std::uint64_t tail_valid = 0;
+  /// Receiver-side CRC mismatch pending: the NACK that arms the next
+  /// maybe_recover() to re-handshake and trigger the sender's replay.
+  bool integrity_failed = false;
 };
 
 class VerbsChannelBase : public Channel {
@@ -99,6 +130,11 @@ class VerbsChannelBase : public Channel {
   ChannelStats stats() const override {
     ChannelStats s = Channel::stats();
     s.recoveries = recoveries_;
+    s.crc_failures = crc_failures_;
+    s.retransmits = retransmits_;
+    s.reg_fallbacks = reg_fallbacks_;
+    s.cq_overruns = cq_overruns_;
+    s.credit_stalls = credit_stalls_;
     return s;
   }
 
@@ -149,10 +185,41 @@ class VerbsChannelBase : public Channel {
   /// of posts and virtual time on the fault-free path.
   sim::Task<void> maybe_recover(VerbsConnection& c);
 
-  /// Charges the per-call software overhead.
+  /// Charges the per-call software overhead, flushing any modelled CRC
+  /// cost accumulated since the last coroutine point first.
   sim::Task<void> call_overhead() {
-    return node().compute(cfg_.per_call_overhead);
+    if (pending_crc_bytes_ > 0) co_await flush_crc_charge();
+    co_await node().compute(cfg_.per_call_overhead);
   }
+
+  // ---- end-to-end integrity ----------------------------------------------
+  /// Accumulates the modelled cost of checksumming `bytes` (the CRC walks
+  /// the data through the CPU, i.e. memory-bus traffic).  Computation sites
+  /// are often synchronous, so the charge is deferred and flushed at the
+  /// next coroutine point (call_overhead / flush_crc_charge) -- at most one
+  /// call late, which keeps the cost measurable without restructuring every
+  /// header-poll site into a coroutine.
+  void charge_crc(std::size_t bytes) {
+    if (cfg_.integrity_check) pending_crc_bytes_ += bytes;
+  }
+  sim::Task<void> flush_crc_charge();
+  /// Records a receiver-side CRC mismatch on `c`: bumps the counter, arms
+  /// the recovery NACK, and wakes the local progress loop (detection
+  /// happens inside a get()/put() that is about to return 0; with no other
+  /// traffic, nothing else would re-enter maybe_recover).
+  void flag_integrity_failure(VerbsConnection& c);
+  /// `c.ctrl.tail_replica` filtered through its self-check word when
+  /// integrity checking is on: a corrupted tail update is ignored (counted
+  /// as a crc_failure) until the next clean one lands.
+  std::uint64_t checked_tail(VerbsConnection& c);
+  /// Injected ring-credit denial ("<node>.credit" fault scope):
+  /// receiver-not-ready backpressure.  When it fires, the caller's put()
+  /// accepts nothing this call; a delayed self-wakeup is scheduled so a
+  /// sender parked in wait_for_activity() retries instead of deadlocking.
+  bool credit_denied();
+  /// Delayed dma_arrival self-wakeup (one retry_delay out) for degradation
+  /// paths that turned work away with no future event otherwise pending.
+  void schedule_retry_wakeup();
 
   /// Scatter/gather between an iov list (with a starting byte offset) and a
   /// ring region, handling ring wraparound; charges modelled copy time.
@@ -163,6 +230,13 @@ class VerbsChannelBase : public Channel {
   sim::Task<void> copy_out(VerbsConnection& c, std::uint64_t ring_pos,
                            std::span<const Iov> iovs, std::size_t iov_off,
                            std::size_t n, std::size_t ws);
+
+  // Integrity / degradation counters surfaced through stats().
+  std::uint64_t crc_failures_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t reg_fallbacks_ = 0;
+  std::uint64_t cq_overruns_ = 0;
+  std::uint64_t credit_stalls_ = 0;
 
   std::vector<std::unique_ptr<VerbsConnection>> conns_;  // [peer]; self null
   /// Live QPs only; an error CQE whose qp_num is absent belongs to a torn
@@ -193,6 +267,8 @@ class VerbsChannelBase : public Channel {
   std::unordered_map<std::uint64_t, ib::Wc> completed_;
   std::uint64_t wr_seq_ = 0;
   std::uint64_t recoveries_ = 0;
+  /// Modelled CRC cost not yet charged to the memory bus.
+  std::size_t pending_crc_bytes_ = 0;
 };
 
 }  // namespace rdmach

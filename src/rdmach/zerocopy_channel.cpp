@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "rdmach/crc32c.hpp"
+
 namespace rdmach {
 
 sim::Task<void> ZeroCopyChannel::init() {
@@ -92,15 +94,39 @@ sim::Task<std::size_t> ZeroCopyChannel::put(Connection& conn,
 
   if (split < iovs.size() && free_slots(c) > 0) {
     const ConstIov& big = iovs[split];
-    c.rndv_mr = co_await cache_->acquire(big.base, big.len);
+    // Graceful degradation: if the HCA refuses the registration (pin-down
+    // limit, injected exhaustion), fall back to streaming the buffer
+    // through the pipelined copy path instead of failing the put.
+    bool refused = false;
+    try {
+      c.rndv_mr = co_await cache_->acquire(big.base, big.len);
+    } catch (const ib::RegistrationError&) {
+      refused = true;  // co_await is illegal in a handler; flag and go
+    }
+    if (refused) {
+      ++reg_fallbacks_;
+      const std::size_t copied =
+          co_await PipelineChannel::put(conn, iovs.subspan(split, 1));
+      co_return accepted + copied;
+    }
     RtsPayload rts{reinterpret_cast<std::uint64_t>(big.base), big.len,
                    c.rndv_mr->rkey()};
-    std::byte* payload = begin_slot(c, SlotKind::kRts, sizeof(rts));
-    std::memcpy(payload, &rts, sizeof(rts));
-    finish_slot(c, sizeof(rts));
+    // The trailing crc word goes on the wire only when integrity is on,
+    // keeping the integrity-off RTS byte-identical to the original format.
+    std::size_t rts_w = sizeof(rts) - sizeof(rts.crc);
+    if (cfg_.integrity_check) {
+      // Whole-message checksum rides in the RTS; the receiver withholds
+      // completion until the pulled bytes reproduce it.
+      rts.crc = crc32c(big.base, big.len);
+      charge_crc(big.len);
+      rts_w = sizeof(rts);
+    }
+    std::byte* payload = begin_slot(c, SlotKind::kRts, rts_w);
+    std::memcpy(payload, &rts, rts_w);
+    finish_slot(c, rts_w);
     const std::size_t idx =
         static_cast<std::size_t>((c.slots_sent - 1) % slot_count());
-    post_ring_write(c, idx * cfg_.chunk_bytes, kSlotOverhead + sizeof(rts),
+    post_ring_write(c, idx * cfg_.chunk_bytes, kSlotOverhead + rts_w,
                     idx * cfg_.chunk_bytes, /*signaled=*/false, next_wr_id());
     c.rndv_active = true;
     c.rndv_acked = false;
@@ -131,7 +157,19 @@ sim::Task<void> ZeroCopyChannel::issue_read(SlotConnection& c,
 
   // Register the destination through the cache and pull the data straight
   // into the user buffer -- this is the zero-copy.
-  c.r_dst_mr = co_await cache_->acquire(dst, m);
+  bool refused = false;
+  try {
+    c.r_dst_mr = co_await cache_->acquire(dst, m);
+  } catch (const ib::RegistrationError&) {
+    refused = true;  // co_await is illegal in a handler; flag and go
+  }
+  if (refused) {
+    // Transient exhaustion: leave the rendezvous where it is and retry the
+    // registration on a later get (the wakeup keeps pollers from parking).
+    ++reg_fallbacks_;
+    schedule_retry_wakeup();
+    co_return;
+  }
   c.r_read_wr = next_wr_id();
   c.r_read_len = m;
   c.r_read_dst = dst;
@@ -170,10 +208,32 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
         }
         c.r_read_inflight = false;
         c.r_done += c.r_read_len;
-        delivered += c.r_read_len;
+        if (cfg_.integrity_check) {
+          // Fold the landed piece into the rolling message CRC but defer
+          // reporting it until the whole message verifies.
+          c.r_crc = crc32c_update(c.r_crc, c.r_read_dst, c.r_read_len);
+          charge_crc(c.r_read_len);
+          c.r_unreported += c.r_read_len;
+        } else {
+          delivered += c.r_read_len;
+        }
         co_await cache_->release(c.r_dst_mr);
         c.r_dst_mr = nullptr;
         if (c.r_done == c.r_len) {
+          if (cfg_.integrity_check &&
+              c.r_crc != static_cast<std::uint32_t>(c.r_crc_expect)) {
+            // Pulled bytes do not reproduce the RTS checksum: NACK through
+            // recovery and restart the pull from offset 0.  The sender's
+            // buffer is still pinned (no ack was sent), so the rkey in our
+            // stashed rendezvous state stays valid.
+            flag_integrity_failure(c);
+            c.r_done = 0;
+            c.r_crc = 0;
+            c.r_unreported = 0;
+            break;
+          }
+          delivered += c.r_unreported;
+          c.r_unreported = 0;
           // Rendezvous complete: retire the RTS slot and ack the sender.
           c.r_rndv_active = false;
           consume_slot(c);
@@ -181,8 +241,8 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
         }
         continue;
       }
-      if (delivered >= want) break;
-      co_await issue_read(c, iovs, delivered);
+      if (delivered + c.r_unreported >= want && c.r_done < c.r_len) break;
+      co_await issue_read(c, iovs, delivered + c.r_unreported);
       break;  // read in flight (or no space); report what we have
     }
 
@@ -203,13 +263,17 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
         break;
       }
       case SlotKind::kRts: {
-        RtsPayload rts;
-        std::memcpy(&rts, slot_payload(c), sizeof(rts));
+        RtsPayload rts;  // crc stays 0 for a pre-integrity short RTS
+        std::memcpy(&rts, slot_payload(c),
+                    std::min<std::size_t>(hdr->payload_len, sizeof(rts)));
         c.r_rndv_active = true;
         c.r_addr = rts.addr;
         c.r_rkey = static_cast<std::uint32_t>(rts.rkey);
         c.r_len = static_cast<std::size_t>(rts.len);
         c.r_done = 0;
+        c.r_crc_expect = rts.crc;
+        c.r_crc = 0;
+        c.r_unreported = 0;
         // The RTS slot stays at the front of the pipe (FIFO order) until
         // the pulled data has fully arrived.
         break;
@@ -248,6 +312,7 @@ sim::Task<void> ZeroCopyChannel::replay(VerbsConnection& conn,
     co_await cache_->invalidate(c.r_dst_mr);
     c.r_dst_mr = co_await cache_->acquire(dst, m);
     c.r_read_wr = next_wr_id();
+    ++retransmits_;
     c.qp->post_send(ib::SendWr{c.r_read_wr,
                                ib::Opcode::kRdmaRead,
                                {ib::Sge{dst, m, c.r_dst_mr->lkey()}},

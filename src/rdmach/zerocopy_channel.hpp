@@ -29,6 +29,10 @@ struct RtsPayload {
   std::uint64_t addr = 0;
   std::uint64_t len = 0;
   std::uint64_t rkey = 0;
+  /// CRC32C of the whole advertised buffer (integrity_check only; the RTS
+  /// slot itself is covered by the slot CRC).  Widened to 64 bits to keep
+  /// the struct trivially packed.
+  std::uint64_t crc = 0;
 };
 
 class ZeroCopyChannel : public PipelineChannel {

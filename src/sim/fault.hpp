@@ -2,14 +2,28 @@
 //
 // `inject_error_rate` (ib/config.hpp) models *random* attempt failures; it
 // cannot express "kill exactly the 3rd WQE node0 posts", which is what the
-// connection-recovery tests need.  A FaultSchedule holds per-scope kill
+// connection-recovery tests need.  A FaultSchedule holds per-scope fault
 // plans keyed by a running operation counter: instrumented subsystems call
 // check(scope) once per operation and receive the scheduled fault, if any.
 // Scopes are plain strings chosen by the instrumentation site (the QP send
-// engines use the initiator node's name), so one schedule can steer many
+// engines use the initiator node's name; resource sites append a suffix --
+// "<node>.reg" for memory registration, "<node>.cq" for CQE delivery,
+// "<node>.credit" for ring-credit grants), so one schedule can steer many
 // components.  The simulation is single-threaded and event order is
 // deterministic, so the Nth operation of a scope is the same operation in
 // every run.
+//
+// Three fault kinds:
+//   * kKill    -- the operation dies (transport error; optionally fatal to
+//                 the QP, modelling RC retry exhaustion).
+//   * kCorrupt -- the operation SUCCEEDS but its payload is bit-flipped in
+//                 flight, modelling an undetected link/DMA error.  Only
+//                 meaningful at data-moving sites; elsewhere it degrades to
+//                 a non-fatal kill.
+//   * kExhaust -- the operation is refused by a temporarily exhausted
+//                 resource (registration failure, CQ overrun, no ring
+//                 credit).  Non-fatal by construction: the resource comes
+//                 back once the scheduled window passes.
 #pragma once
 
 #include <cstdint>
@@ -23,24 +37,44 @@ namespace sim {
 class FaultSchedule {
  public:
   struct Fault {
-    /// A fatal fault models real RC retry exhaustion: the victim completes
-    /// with a transport error AND the QP transitions to the error state
-    /// (subsequent WQEs flush).  A non-fatal fault drops only the victim --
-    /// useful for single-WQE tests, but note it breaks the in-order
-    /// delivery guarantee for anything posted behind the victim.
+    enum class Kind { kKill, kCorrupt, kExhaust };
+    Kind kind = Kind::kKill;
+    /// kKill only.  A fatal fault models real RC retry exhaustion: the
+    /// victim completes with a transport error AND the QP transitions to
+    /// the error state (subsequent WQEs flush).  A non-fatal fault drops
+    /// only the victim -- useful for single-WQE tests, but note it breaks
+    /// the in-order delivery guarantee for anything posted behind the
+    /// victim.
     bool fatal = true;
   };
 
   /// Kills the `nth` (0-based) operation observed in `scope`.
   void kill(const std::string& scope, std::uint64_t nth, bool fatal = true) {
-    scopes_[scope].kills[nth] = Fault{fatal};
+    scopes_[scope].plans[nth] = Fault{Fault::Kind::kKill, fatal};
   }
 
   /// Kills every operation in `scope` from index `from` onward (retry-budget
   /// exhaustion scenarios: nothing ever gets through again).
   void kill_from(const std::string& scope, std::uint64_t from,
                  bool fatal = true) {
-    scopes_[scope].all_from = std::make_pair(from, Fault{fatal});
+    scopes_[scope].all_from = std::make_pair(from, Fault{Fault::Kind::kKill, fatal});
+  }
+
+  /// Corrupts the `nth` operation: it is delivered as a success with its
+  /// payload bit-flipped (silent data corruption unless a checksum catches
+  /// it).
+  void corrupt(const std::string& scope, std::uint64_t nth) {
+    scopes_[scope].plans[nth] = Fault{Fault::Kind::kCorrupt, false};
+  }
+
+  /// Denies operations [from, from + n) with a temporary resource-exhaustion
+  /// failure; the resource recovers afterwards.
+  void exhaust(const std::string& scope, std::uint64_t from,
+               std::uint64_t n = 1) {
+    Scope& s = scopes_[scope];
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s.plans[from + i] = Fault{Fault::Kind::kExhaust, false};
+    }
   }
 
   /// Instrumentation hook: counts one operation in `scope` and returns the
@@ -49,11 +83,11 @@ class FaultSchedule {
     Scope& s = scopes_[scope];
     const std::uint64_t idx = s.count++;
     std::optional<Fault> hit;
-    if (auto it = s.kills.find(idx); it != s.kills.end()) hit = it->second;
+    if (auto it = s.plans.find(idx); it != s.plans.end()) hit = it->second;
     if (!hit && s.all_from && idx >= s.all_from->first) {
       hit = s.all_from->second;
     }
-    if (hit) ++killed_;
+    if (hit) ++delivered_;
     return hit;
   }
 
@@ -63,18 +97,18 @@ class FaultSchedule {
     return it == scopes_.end() ? 0 : it->second.count;
   }
 
-  /// Total faults delivered across all scopes.
-  std::uint64_t killed() const noexcept { return killed_; }
+  /// Total faults delivered across all scopes (all kinds).
+  std::uint64_t killed() const noexcept { return delivered_; }
 
  private:
   struct Scope {
-    std::map<std::uint64_t, Fault> kills;
+    std::map<std::uint64_t, Fault> plans;
     std::optional<std::pair<std::uint64_t, Fault>> all_from;
     std::uint64_t count = 0;
   };
 
   std::map<std::string, Scope> scopes_;
-  std::uint64_t killed_ = 0;
+  std::uint64_t delivered_ = 0;
 };
 
 }  // namespace sim

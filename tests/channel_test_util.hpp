@@ -67,6 +67,38 @@ struct FaultPlan {
     schedule.kill_from(scope_of(rank), from, fatal);
     return *this;
   }
+
+  /// Flips one payload bit in the `nth` WQE that rank's HCA processes; the
+  /// operation still completes with kSuccess (silent data corruption).
+  FaultPlan& corrupt(int rank, std::uint64_t nth) {
+    schedule.corrupt(scope_of(rank), nth);
+    return *this;
+  }
+
+  /// Denies `n` memory registrations on that rank starting from its
+  /// `from`th register_memory call.  Init-time registrations (rings, ctrl
+  /// blocks, FIN arrays) come first, so chaos schedules should keep `from`
+  /// past the bootstrap -- a denied bootstrap is a setup error, not a
+  /// degradation path.
+  FaultPlan& exhaust_reg(int rank, std::uint64_t from, std::uint64_t n = 1) {
+    schedule.exhaust(scope_of(rank) + ".reg", from, n);
+    return *this;
+  }
+
+  /// Drops `n` CQEs into that rank's CQ overrun buffer starting from its
+  /// `from`th delivered completion (drain-and-rearm recovery path).
+  FaultPlan& exhaust_cq(int rank, std::uint64_t from, std::uint64_t n = 1) {
+    schedule.exhaust(scope_of(rank) + ".cq", from, n);
+    return *this;
+  }
+
+  /// Denies `n` ring-credit grants on that rank starting from its `from`th
+  /// put-side credit check (backpressure/retry path).
+  FaultPlan& exhaust_credit(int rank, std::uint64_t from,
+                            std::uint64_t n = 1) {
+    schedule.exhaust(scope_of(rank) + ".credit", from, n);
+    return *this;
+  }
 };
 
 /// Randomized put-sized message stream.  `bytes` is the full concatenated

@@ -79,6 +79,33 @@ TEST(FaultSchedule, ScopesAreIndependentAndFatalityIsCarried) {
   EXPECT_EQ(s.killed(), 2u);
 }
 
+TEST(FaultSchedule, CorruptAndExhaustCarryTheirKindAndAreNonFatal) {
+  using Kind = sim::FaultSchedule::Fault::Kind;
+  sim::FaultSchedule s;
+  s.corrupt("x", 1);
+  s.exhaust("x.reg", 3, /*n=*/2);
+  EXPECT_FALSE(s.check("x").has_value());  // 0
+  const auto fc = s.check("x");            // 1: the corruption
+  ASSERT_TRUE(fc.has_value());
+  EXPECT_EQ(fc->kind, Kind::kCorrupt);
+  EXPECT_FALSE(fc->fatal);  // delivered as success, not a QP error
+  EXPECT_FALSE(s.check("x").has_value());  // 2
+  // Resource sub-scopes count independently of the WQE scope.
+  EXPECT_FALSE(s.check("x.reg").has_value());  // 0
+  EXPECT_FALSE(s.check("x.reg").has_value());  // 1
+  EXPECT_FALSE(s.check("x.reg").has_value());  // 2
+  for (int i = 0; i < 2; ++i) {
+    const auto fe = s.check("x.reg");  // 3, 4: the denial window
+    ASSERT_TRUE(fe.has_value());
+    EXPECT_EQ(fe->kind, Kind::kExhaust);
+    EXPECT_FALSE(fe->fatal);
+  }
+  EXPECT_FALSE(s.check("x.reg").has_value());  // 5: window closed
+  EXPECT_EQ(s.observed("x"), 3u);
+  EXPECT_EQ(s.observed("x.reg"), 6u);
+  EXPECT_EQ(s.killed(), 3u);  // every delivered fault counts, any kind
+}
+
 // ---------------------------------------------------------------------------
 // Verbs-level RC error semantics
 // ---------------------------------------------------------------------------
