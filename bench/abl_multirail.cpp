@@ -1,0 +1,113 @@
+// Ablation: multi-rail striping of the adaptive rendezvous engine.
+//
+// Sweeps MPI bandwidth with the node built as 1, 2, and 4 rails (1x1,
+// 2 HCAs x 1 port, 2 HCAs x 2 ports).  Large rendezvous stripe their
+// chunk reads and write rounds across the rails, so two 870 MB/s rails
+// lift the >= 1MB plateau until the shared 1600 MB/s node memory bus
+// takes over as the cap -- which is also why four rails buy nothing over
+// two on this testbed, exactly as PCI-X did on paper-era dual-port
+// InfiniHosts.  A second section pits the learned weighted stripe policy
+// against naive strict round-robin on an asymmetric fast+slow fabric.
+// Emits BENCH_multirail.json with every measured point.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+ib::FabricConfig rails(int num_hcas, int ports_per_hca) {
+  ib::FabricConfig f;
+  f.num_hcas = num_hcas;
+  f.ports_per_hca = ports_per_hca;
+  return f;
+}
+
+struct Series {
+  const char* name;
+  ib::FabricConfig fcfg;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode(argc, argv);
+  benchutil::JsonResult json("abl_multirail");
+  const mpi::RuntimeConfig cfg =
+      benchutil::design_config(rdmach::Design::kAdaptive);
+
+  const Series series[] = {
+      {"rails1", rails(1, 1)},
+      {"rails2", rails(2, 1)},
+      {"rails4", rails(2, 2)},
+  };
+
+  benchutil::title("Multi-rail ablation: MPI bandwidth (MB/s), adaptive");
+  std::printf("%8s", "size");
+  for (const Series& s : series) std::printf(" %12s", s.name);
+  std::printf(" %12s\n", "2r/1r");
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{256u << 10, 1u << 20}
+            : benchutil::sizes_pow2(64 * 1024, 8u << 20);
+  for (const std::size_t sz : sizes) {
+    std::printf("%8s", benchutil::human_size(sz).c_str());
+    double one = 0.0;
+    double two = 0.0;
+    for (const Series& s : series) {
+      const double mbps =
+          benchutil::mpi_bandwidth_mbps(cfg, sz, 32u << 20, 16, s.fcfg);
+      std::printf(" %12.1f", mbps);
+      json.add(s.name, sz, mbps, "MB/s");
+      if (s.fcfg.num_rails() == 1) one = mbps;
+      if (s.fcfg.num_rails() == 2) two = mbps;
+    }
+    const double ratio = one > 0.0 ? two / one : 0.0;
+    std::printf(" %12.2f\n", ratio);
+    json.add("scaling-2r-over-1r", sz, ratio, "x");
+  }
+
+  // Small messages ride the rail-0 ring regardless of rail count; pin that
+  // the extra rails leave latency untouched.
+  benchutil::title("Multi-rail ablation: MPI latency (us), adaptive");
+  std::printf("%8s", "size");
+  for (const Series& s : series) std::printf(" %12s", s.name);
+  std::printf("\n");
+  for (const std::size_t sz : benchutil::sizes_4_to(smoke ? 64 : 1024)) {
+    std::printf("%8s", benchutil::human_size(sz).c_str());
+    for (const Series& s : series) {
+      const double us = benchutil::mpi_latency_usec(cfg, sz, 30, s.fcfg);
+      std::printf(" %12.2f", us);
+      json.add(std::string("latency-") + s.name, sz, us, "us");
+    }
+    std::printf("\n");
+  }
+
+  // Asymmetric fabric: one calibrated 870 MB/s rail plus one at a third of
+  // it.  The weighted policy converges to a goodput-proportional split;
+  // strict round-robin gates every other chunk on the slow rail.
+  benchutil::title(
+      "Asymmetric rails (870 + 290 MB/s): stripe policy (MB/s)");
+  ib::FabricConfig asym = rails(1, 2);
+  asym.rail_link_mbps = {870.0, 290.0};
+  mpi::RuntimeConfig weighted = cfg;
+  weighted.stack.channel.rail_policy = rdmach::RailPolicy::kWeighted;
+  mpi::RuntimeConfig naive = cfg;
+  naive.stack.channel.rail_policy = rdmach::RailPolicy::kRoundRobin;
+  std::printf("%8s %12s %12s %12s\n", "size", "weighted", "roundrobin",
+              "w/rr");
+  const std::vector<std::size_t> asym_sizes =
+      smoke ? std::vector<std::size_t>{1u << 20}
+            : benchutil::sizes_pow2(512 * 1024, 8u << 20);
+  for (const std::size_t sz : asym_sizes) {
+    const double w =
+        benchutil::mpi_bandwidth_mbps(weighted, sz, 32u << 20, 16, asym);
+    const double n =
+        benchutil::mpi_bandwidth_mbps(naive, sz, 32u << 20, 16, asym);
+    std::printf("%8s %12.1f %12.1f %12.2f\n",
+                benchutil::human_size(sz).c_str(), w, n, n > 0 ? w / n : 0.0);
+    json.add("asym-weighted", sz, w, "MB/s");
+    json.add("asym-roundrobin", sz, n, "MB/s");
+  }
+
+  json.write("BENCH_multirail.json");
+  return 0;
+}

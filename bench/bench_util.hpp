@@ -31,13 +31,16 @@ inline mpi::RuntimeConfig design_config(rdmach::Design design) {
   return stack_config(ch3::Stack::kRdmaChannel, design);
 }
 
-/// Runs a 2-rank MPI job; `body` executes on both ranks.
+/// Runs a 2-rank MPI job; `body` executes on both ranks.  `fcfg` selects
+/// the fabric model (rail counts, per-rail link speeds); the default is
+/// the calibrated single-rail fabric every figure bench uses.
 inline void run_pair(
     const mpi::RuntimeConfig& cfg,
     const std::function<sim::Task<void>(mpi::Communicator&, pmi::Context&)>&
-        body) {
+        body,
+    const ib::FabricConfig& fcfg = {}) {
   sim::Simulator sim;
-  ib::Fabric fabric(sim);
+  ib::Fabric fabric(sim, fcfg);
   pmi::Job job(fabric, 2);
   job.launch([&cfg, body](pmi::Context& ctx) -> sim::Task<void> {
     mpi::Runtime rt(ctx, cfg);
@@ -53,9 +56,10 @@ inline void run_pair(
 inline void run_pair_rt(
     const mpi::RuntimeConfig& cfg,
     const std::function<sim::Task<void>(mpi::Runtime&, mpi::Communicator&,
-                                        pmi::Context&)>& body) {
+                                        pmi::Context&)>& body,
+    const ib::FabricConfig& fcfg = {}) {
   sim::Simulator sim;
-  ib::Fabric fabric(sim);
+  ib::Fabric fabric(sim, fcfg);
   pmi::Job job(fabric, 2);
   job.launch([&cfg, body](pmi::Context& ctx) -> sim::Task<void> {
     mpi::Runtime rt(ctx, cfg);
@@ -68,7 +72,8 @@ inline void run_pair_rt(
 
 /// One-way MPI latency in microseconds for `msg`-byte messages.
 inline double mpi_latency_usec(const mpi::RuntimeConfig& cfg, std::size_t msg,
-                               int iters = 30) {
+                               int iters = 30,
+                               const ib::FabricConfig& fcfg = {}) {
   sim::Tick elapsed = 0;
   run_pair(cfg, [msg, iters, &elapsed](mpi::Communicator& world,
                                        pmi::Context& ctx) -> sim::Task<void> {
@@ -89,14 +94,15 @@ inline double mpi_latency_usec(const mpi::RuntimeConfig& cfg, std::size_t msg,
         co_await world.send(buf.data(), n, mpi::Datatype::kByte, 0, 0);
       }
     }
-  });
+  }, fcfg);
   return sim::to_usec(elapsed) / (2.0 * iters);
 }
 
 /// Streaming MPI bandwidth (MB/s, MB = 1e6 B) at message size `msg`.
 inline double mpi_bandwidth_mbps(const mpi::RuntimeConfig& cfg,
                                  std::size_t msg, std::size_t total_bytes = 0,
-                                 int window = 16) {
+                                 int window = 16,
+                                 const ib::FabricConfig& fcfg = {}) {
   if (total_bytes == 0) {
     total_bytes = std::max<std::size_t>(msg * 128, 8u << 20);
     total_bytes = std::min<std::size_t>(total_bytes, 64u << 20);
@@ -147,7 +153,7 @@ inline double mpi_bandwidth_mbps(const mpi::RuntimeConfig& cfg,
       }
       co_await world.send(&token, 1, mpi::Datatype::kByte, 0, 2);
     }
-  });
+  }, fcfg);
   moved = msg * static_cast<std::size_t>(window) *
           static_cast<std::size_t>(rounds);
   return sim::bandwidth_mbps(static_cast<std::int64_t>(moved), elapsed);

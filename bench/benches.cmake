@@ -22,6 +22,7 @@ mpib_add_bench(fig16_nas_a4)
 mpib_add_bench(fig17_nas_b8)
 mpib_add_bench(abl_adaptive)
 mpib_add_bench(abl_integrity)
+mpib_add_bench(abl_multirail)
 mpib_add_bench(abl_regcache)
 mpib_add_bench(abl_tail_update)
 mpib_add_bench(abl_threshold)
@@ -43,7 +44,9 @@ add_test(NAME perf.smoke.fig13_14_ch3_vs_rdma
          COMMAND fig13_14_ch3_vs_rdma --smoke)
 add_test(NAME perf.smoke.abl_integrity
          COMMAND abl_integrity --smoke)
+add_test(NAME perf.smoke.abl_multirail
+         COMMAND abl_multirail --smoke)
 set_tests_properties(perf.smoke.abl_adaptive perf.smoke.fig13_14_ch3_vs_rdma
-                     perf.smoke.abl_integrity
+                     perf.smoke.abl_integrity perf.smoke.abl_multirail
   PROPERTIES LABELS perf
              WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -34,6 +35,18 @@ struct FabricConfig {
   // -- link / wire ---------------------------------------------------------
   /// Effective point-to-point data rate of HCA + PCI-X + 4X link (MB/s).
   double link_mbps = 870.0;
+  /// HCAs per node and ports per HCA.  A (hca, port) pair is one *rail*:
+  /// its own link bandwidth servers, its own failure domain.  Rails are
+  /// flat-indexed r = hca * ports_per_hca + port; rail 0 is the legacy
+  /// single-port fabric, and with the 1x1 default every timing is
+  /// bit-identical to the pre-multirail model.  Paper-era clusters shipped
+  /// dual-port InfiniHosts; the shared PCI-X memory bus (bus_mbps) still
+  /// caps the aggregate, exactly as it did on real hardware.
+  int num_hcas = 1;
+  int ports_per_hca = 1;
+  /// Optional per-rail link rate override (asymmetric fabrics: a fast and a
+  /// slow rail).  Rails beyond the vector, or entries <= 0, use link_mbps.
+  std::vector<double> rail_link_mbps;
   /// One-way propagation including switch traversal and MAC framing.
   sim::Tick wire_latency = sim::usec(4.1);
   /// RC acknowledgement propagation (sender-side CQE lags delivery by this).
@@ -102,6 +115,14 @@ struct FabricConfig {
   double copy_factor(std::int64_t working_set) const {
     return working_set > cache_bytes ? copy_factor_uncached
                                      : copy_factor_cached;
+  }
+  int num_rails() const noexcept { return num_hcas * ports_per_hca; }
+  double rail_mbps(int rail) const {
+    if (rail >= 0 && rail < static_cast<int>(rail_link_mbps.size()) &&
+        rail_link_mbps[static_cast<std::size_t>(rail)] > 0.0) {
+      return rail_link_mbps[static_cast<std::size_t>(rail)];
+    }
+    return link_mbps;
   }
 };
 

@@ -16,16 +16,18 @@ Node& Fabric::add_node(std::string name) {
   return *nodes_.back();
 }
 
-sim::Task<sim::Tick> Fabric::book_path(Node& src, Node& dst, std::int64_t n) {
+sim::Task<sim::Tick> Fabric::book_path(Port& src, Port& dst, std::int64_t n) {
   // Even a zero-byte operation moves a transport header.
   if (n <= 0) n = 16;
   sim::Simulator& s = *sim_;
+  Node& src_node = src.hca().node();
+  Node& dst_node = dst.hca().node();
   const std::int64_t chunk_max = cfg_.dma_chunk_bytes;
   // Bound how far the engine may book the TX link ahead of real time: deep
   // enough that consecutive chunks/WQEs keep the wire saturated, shallow
   // enough that later small descriptors (pointer updates) are not starved.
   const sim::Tick backlog_bound =
-      4 * sim::transfer_time(chunk_max, cfg_.link_mbps);
+      4 * sim::transfer_time(chunk_max, src.mbps());
 
   bool first = true;
   sim::Tick delivered = s.now();
@@ -34,11 +36,12 @@ sim::Task<sim::Tick> Fabric::book_path(Node& src, Node& dst, std::int64_t n) {
     const std::int64_t chunk = remaining < chunk_max ? remaining : chunk_max;
     remaining -= chunk;
     // Source DMA read; the engine paces itself on this stage so that CPU
-    // copies contend with DMA at chunk granularity.
-    const sim::Tick s_done = src.bus().reserve(chunk);
+    // copies contend with DMA at chunk granularity.  The bus is shared by
+    // every rail of the node -- the aggregate cap multirail cannot exceed.
+    const sim::Tick s_done = src_node.bus().reserve(chunk);
     co_await s.delay_until(s_done);
-    // Wire serialization (FIFO across all QPs of this HCA).
-    const sim::Tick l_done = src.hca().tx_link().reserve(chunk);
+    // Wire serialization (FIFO across all QPs bound to this port).
+    const sim::Tick l_done = src.tx_link().reserve(chunk);
     sim::Tick arrive = l_done + cfg_.wire_latency;
     if (first) {
       arrive += cfg_.rx_overhead;
@@ -46,14 +49,18 @@ sim::Task<sim::Tick> Fabric::book_path(Node& src, Node& dst, std::int64_t n) {
     }
     // Destination-side stages are booked ahead of their start time; the
     // FIFO gap this can leave is bounded by one wire latency (DESIGN.md).
-    const sim::Tick r_done = dst.hca().rx_link().reserve_from(arrive, chunk);
-    delivered = dst.bus().reserve_from(r_done, chunk);
+    const sim::Tick r_done = dst.rx_link().reserve_from(arrive, chunk);
+    delivered = dst_node.bus().reserve_from(r_done, chunk);
     if (l_done > s.now() + backlog_bound) {
       co_await s.delay_until(l_done - backlog_bound);
     }
   }
   src.hca().bytes_tx += n;
   co_return delivered;
+}
+
+sim::Task<sim::Tick> Fabric::book_path(Node& src, Node& dst, std::int64_t n) {
+  co_return co_await book_path(src.rail(0), dst.rail(0), n);
 }
 
 }  // namespace ib

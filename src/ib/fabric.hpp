@@ -19,6 +19,7 @@
 
 namespace ib {
 
+class Port;
 class QueuePair;
 
 class Fabric {
@@ -63,7 +64,10 @@ class Fabric {
   /// (src bus -> src tx link -> wire -> dst rx link -> dst bus) and returns
   /// the absolute delivery time of the last chunk.  Resumes the caller once
   /// the *source-side* stages are fully booked so the caller can pipeline
-  /// its next descriptor behind this one.
+  /// its next descriptor behind this one.  The port-level overload is the
+  /// primitive (a QP's traffic rides its bound rail); the Node overload is
+  /// rail 0 of each end, the legacy single-rail path.
+  sim::Task<sim::Tick> book_path(Port& src, Port& dst, std::int64_t n);
   sim::Task<sim::Tick> book_path(Node& src, Node& dst, std::int64_t n);
 
  private:

@@ -6,14 +6,37 @@
 
 namespace ib {
 
-Hca::Hca(Node& node)
-    : node_(&node),
-      tx_link_(node.fabric().sim(), node.name() + ".tx",
-               node.fabric().cfg().link_mbps,
-               node.fabric().cfg().dma_chunk_bytes),
-      rx_link_(node.fabric().sim(), node.name() + ".rx",
-               node.fabric().cfg().link_mbps,
-               node.fabric().cfg().dma_chunk_bytes) {}
+namespace {
+
+/// Rail 0 keeps the pre-multirail resource names ("<node>.tx"/"<node>.rx")
+/// so single-rail traces stay bit-identical; extra rails get a ".rail<r>"
+/// infix.
+std::string link_name(const Node& node, int rail, const char* dir) {
+  if (rail == 0) return node.name() + "." + dir;
+  return node.name() + ".rail" + std::to_string(rail) + "." + dir;
+}
+
+}  // namespace
+
+Port::Port(Hca& hca, int index, int rail, double mbps)
+    : hca_(&hca),
+      index_(index),
+      rail_(rail),
+      mbps_(mbps),
+      tx_link_(hca.fabric().sim(), link_name(hca.node(), rail, "tx"), mbps,
+               hca.fabric().cfg().dma_chunk_bytes),
+      rx_link_(hca.fabric().sim(), link_name(hca.node(), rail, "rx"), mbps,
+               hca.fabric().cfg().dma_chunk_bytes) {}
+
+Hca::Hca(Node& node, int index) : node_(&node), index_(index) {
+  const FabricConfig& cfg = node.fabric().cfg();
+  const int ports = cfg.ports_per_hca > 0 ? cfg.ports_per_hca : 1;
+  for (int p = 0; p < ports; ++p) {
+    const int rail = index * ports + p;
+    ports_.push_back(
+        std::make_unique<Port>(*this, p, rail, cfg.rail_mbps(rail)));
+  }
+}
 
 Hca::~Hca() = default;
 
@@ -33,11 +56,22 @@ CompletionQueue& Hca::create_cq(std::string name) {
 
 QueuePair& Hca::create_qp(ProtectionDomain& pd, CompletionQueue& send_cq,
                           CompletionQueue& recv_cq) {
-  if (&pd.hca() != this) {
+  return create_qp(pd, send_cq, recv_cq, *ports_[0]);
+}
+
+QueuePair& Hca::create_qp(ProtectionDomain& pd, CompletionQueue& send_cq,
+                          CompletionQueue& recv_cq, Port& port) {
+  // Registration is modelled per node (one pin-down covers every rail), so
+  // a PD from a sibling HCA is fine; a PD from another *node* is the same
+  // programming error it always was.
+  if (&pd.hca().node() != node_) {
     throw VerbsError("create_qp: PD belongs to a different HCA");
   }
+  if (&port.hca() != this) {
+    throw VerbsError("create_qp: port belongs to a different HCA");
+  }
   qps_.push_back(std::make_unique<QueuePair>(*this, pd, send_cq, recv_cq,
-                                             fabric().next_qpn()));
+                                             fabric().next_qpn(), port));
   fabric().register_qp(qps_.back()->qp_num(), qps_.back().get());
   return *qps_.back();
 }

@@ -1,7 +1,9 @@
-// Host channel adapter: the node's attachment point to the fabric.  Owns the
-// TX/RX link bandwidth servers (PCI-X + 4X link, effective 870 MB/s each
-// way), and the protection domains, completion queues, and queue pairs
-// created on this adapter.
+// Host channel adapter: the node's attachment point to the fabric.  An HCA
+// owns one or more ports; each (hca, port) pair is one *rail* of the node,
+// with its own TX/RX link bandwidth servers (PCI-X + 4X link, effective
+// 870 MB/s each way by default) and its own failure domain.  The HCA also
+// owns the protection domains, completion queues, and queue pairs created
+// on this adapter.
 #pragma once
 
 #include <cstdint>
@@ -18,23 +20,67 @@ namespace ib {
 class Node;
 class Fabric;
 class QueuePair;
+class Hca;
+
+/// One physical port: the unit of link bandwidth and of failure.  A rail
+/// that dies (sim::FaultSchedule "<node>.rail<r>" scope) flips `up_` off,
+/// sticky: every WQE initiated through it thereafter exhausts its RC
+/// retries and errors out, and the channel layer drops the rail from its
+/// stripe set.
+class Port {
+ public:
+  Port(Hca& hca, int index, int rail, double mbps);
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  Hca& hca() const noexcept { return *hca_; }
+  /// Port index within the owning HCA.
+  int index() const noexcept { return index_; }
+  /// Flat rail index on the node (hca * ports_per_hca + port).
+  int rail() const noexcept { return rail_; }
+  double mbps() const noexcept { return mbps_; }
+  sim::BandwidthResource& tx_link() noexcept { return tx_link_; }
+  sim::BandwidthResource& rx_link() noexcept { return rx_link_; }
+
+  bool up() const noexcept { return up_; }
+  void fail() noexcept { up_ = false; }
+
+ private:
+  Hca* hca_;
+  int index_;
+  int rail_;
+  double mbps_;
+  bool up_ = true;
+  sim::BandwidthResource tx_link_;
+  sim::BandwidthResource rx_link_;
+};
 
 class Hca {
  public:
-  explicit Hca(Node& node);
+  Hca(Node& node, int index = 0);
   Hca(const Hca&) = delete;
   Hca& operator=(const Hca&) = delete;
   ~Hca();
 
   ProtectionDomain& alloc_pd();
   CompletionQueue& create_cq(std::string name);
+  /// Creates a QP bound to `port` (default: this HCA's port 0).  The PD may
+  /// belong to any HCA of the same node -- a modelling simplification (real
+  /// multi-HCA stacks register per HCA; our per-node registration keeps one
+  /// rkey valid across rails) documented in DESIGN.md.
   QueuePair& create_qp(ProtectionDomain& pd, CompletionQueue& send_cq,
                        CompletionQueue& recv_cq);
+  QueuePair& create_qp(ProtectionDomain& pd, CompletionQueue& send_cq,
+                       CompletionQueue& recv_cq, Port& port);
 
   Node& node() const noexcept { return *node_; }
   Fabric& fabric() const noexcept;
-  sim::BandwidthResource& tx_link() noexcept { return tx_link_; }
-  sim::BandwidthResource& rx_link() noexcept { return rx_link_; }
+  int index() const noexcept { return index_; }
+  int port_count() const noexcept { return static_cast<int>(ports_.size()); }
+  Port& port(int i) const { return *ports_.at(static_cast<std::size_t>(i)); }
+  /// Port 0's links (the legacy single-rail accessors).
+  sim::BandwidthResource& tx_link() noexcept { return ports_[0]->tx_link(); }
+  sim::BandwidthResource& rx_link() noexcept { return ports_[0]->rx_link(); }
 
   // Lifetime traffic counters (reported by benches).
   std::uint64_t writes_posted = 0;
@@ -45,8 +91,8 @@ class Hca {
 
  private:
   Node* node_;
-  sim::BandwidthResource tx_link_;
-  sim::BandwidthResource rx_link_;
+  int index_;
+  std::vector<std::unique_ptr<Port>> ports_;
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::vector<std::unique_ptr<QueuePair>> qps_;

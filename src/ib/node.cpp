@@ -11,10 +11,25 @@ Node::Node(Fabric& fabric, int id, std::string name)
       name_(std::move(name)),
       bus_(fabric.sim(), name_ + ".bus", fabric.cfg().bus_mbps,
            fabric.cfg().bus_chunk_bytes),
-      dma_arrival_(fabric.sim()),
-      hca_(std::make_unique<Hca>(*this)) {}
+      dma_arrival_(fabric.sim()) {
+  const int n = fabric.cfg().num_hcas > 0 ? fabric.cfg().num_hcas : 1;
+  for (int i = 0; i < n; ++i) {
+    hcas_.push_back(std::make_unique<Hca>(*this, i));
+  }
+}
 
 Node::~Node() = default;
+
+int Node::num_rails() const noexcept {
+  int n = 0;
+  for (const auto& h : hcas_) n += h->port_count();
+  return n;
+}
+
+Port& Node::rail(int r) const {
+  const int per = hcas_[0]->port_count();
+  return hca(r / per).port(r % per);
+}
 
 sim::Task<void> Node::copy(void* dst, const void* src, std::size_t n,
                            std::size_t working_set) {

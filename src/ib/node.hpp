@@ -10,6 +10,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ib/config.hpp"
 #include "sim/resource.hpp"
@@ -21,6 +22,7 @@ namespace ib {
 
 class Fabric;
 class Hca;
+class Port;
 
 class Node {
  public:
@@ -40,7 +42,13 @@ class Node {
   sim::Task<void> compute(sim::Tick t);
 
   Fabric& fabric() const noexcept { return *fabric_; }
-  Hca& hca() const noexcept { return *hca_; }
+  /// The first HCA (the legacy single-adapter accessor).
+  Hca& hca() const noexcept { return *hcas_[0]; }
+  Hca& hca(int i) const { return *hcas_.at(static_cast<std::size_t>(i)); }
+  int hca_count() const noexcept { return static_cast<int>(hcas_.size()); }
+  /// Rails on this node (hcas * ports per hca), flat-indexed.
+  int num_rails() const noexcept;
+  Port& rail(int r) const;
   sim::BandwidthResource& bus() noexcept { return bus_; }
 
   /// Fires whenever an incoming RDMA write / read response / send lands in
@@ -58,7 +66,7 @@ class Node {
   std::string name_;
   sim::BandwidthResource bus_;
   sim::Trigger dma_arrival_;
-  std::unique_ptr<Hca> hca_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
   std::int64_t copied_bytes_ = 0;
 };
 

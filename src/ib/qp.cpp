@@ -5,6 +5,7 @@
 #include "ib/fabric.hpp"
 #include "ib/hca.hpp"
 #include "ib/node.hpp"
+#include "sim/fault.hpp"
 
 namespace ib {
 
@@ -42,8 +43,10 @@ constexpr std::int64_t kCtrlBytes = 16;  // read-request packet on the wire
 }  // namespace
 
 QueuePair::QueuePair(Hca& hca, ProtectionDomain& pd, CompletionQueue& send_cq,
-                     CompletionQueue& recv_cq, std::uint32_t qp_num)
+                     CompletionQueue& recv_cq, std::uint32_t qp_num,
+                     Port& port)
     : hca_(&hca),
+      port_(&port),
       pd_(&pd),
       send_cq_(&send_cq),
       recv_cq_(&recv_cq),
@@ -236,6 +239,34 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
 
   co_await sim.delay(cfg.wqe_overhead);
 
+  // Rail failure domain: any fault scheduled on the "<node>.rail<r>" scope
+  // takes the whole port down, sticky -- every WQE initiated through this
+  // rail thereafter (any QP bound to it) exhausts the RC retry storm and
+  // surfaces a transport error, like real link death under a fabric whose
+  // SM never reroutes.  Checked at the WQE initiator only; a live rail
+  // counts one scope operation per WQE, so schedules are deterministic.
+  if (port_->up()) {
+    if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
+      if (faults->check(sim::FaultSchedule::rail_scope(node().name(),
+                                                       port_->rail()))) {
+        port_->fail();
+        fabric.tracer().record(sim.now(), tag, "rail_down", port_->rail(),
+                               wr.wr_id);
+      }
+    }
+  }
+  if (!port_->up()) {
+    fabric.tracer().record(sim.now(), tag, "fault_kill",
+                           static_cast<std::int64_t>(n), wr.wr_id);
+    co_await sim.delay(cfg.retry_count * cfg.retry_delay);
+    enter_error();
+    complete(*send_cq_,
+             Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0, qp_num_,
+                false},
+             sim.now() + 2 * cfg.wire_latency);
+    co_return;
+  }
+
   bool corrupt_payload = false;
   if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
     if (auto f = faults->check(node().name())) {
@@ -321,7 +352,7 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
         (*staging)[staging->size() / 2] ^= std::byte{1};
       }
       const sim::Tick delivered = co_await fabric.book_path(
-          node(), peer_->node(), static_cast<std::int64_t>(n));
+          *port_, *peer_->port_, static_cast<std::int64_t>(n));
       Node* dst_node = &peer_->node();
       auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
       ++inflight_deliveries_;
@@ -348,7 +379,7 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
         (*staging)[staging->size() / 2] ^= std::byte{1};
       }
       const sim::Tick delivered = co_await fabric.book_path(
-          node(), peer_->node(), static_cast<std::int64_t>(n));
+          *port_, *peer_->port_, static_cast<std::int64_t>(n));
       QueuePair* peer = peer_;
       ++inflight_deliveries_;
       sim.call_at(delivered, [this, staging, peer] {
@@ -398,9 +429,9 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
         break;
       }
       ++reads_in_flight_;
-      // Ship the request packet to the responder.
+      // Ship the request packet to the responder through this QP's rail.
       const sim::Tick req_sent =
-          hca_->tx_link().reserve(kCtrlBytes + (is_atomic ? 16 : 0));
+          port_->tx_link().reserve(kCtrlBytes + (is_atomic ? 16 : 0));
       co_await sim.delay_until(req_sent);
       const sim::Tick req_arrives = sim.now() + cfg.wire_latency;
       QueuePair* peer = peer_;
@@ -479,7 +510,7 @@ sim::Task<void> QueuePair::responder_engine() {
                              static_cast<std::int64_t>(n), req.wr_id);
     }
     const sim::Tick delivered = co_await fabric.book_path(
-        node(), initiator->node(), static_cast<std::int64_t>(n));
+        *port_, *initiator->port_, static_cast<std::int64_t>(n));
     sim.call_at(delivered, [staging, initiator, req, n] {
       scatter(*staging, req.dest_sgl);
       initiator->node().dma_arrival().fire();

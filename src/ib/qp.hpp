@@ -53,11 +53,12 @@ namespace ib {
 class Hca;
 class Fabric;
 class Node;
+class Port;
 
 class QueuePair {
  public:
   QueuePair(Hca& hca, ProtectionDomain& pd, CompletionQueue& send_cq,
-            CompletionQueue& recv_cq, std::uint32_t qp_num);
+            CompletionQueue& recv_cq, std::uint32_t qp_num, Port& port);
   QueuePair(const QueuePair&) = delete;
   QueuePair& operator=(const QueuePair&) = delete;
 
@@ -96,6 +97,8 @@ class QueuePair {
   bool connected() const noexcept { return peer_ != nullptr; }
   bool in_error() const noexcept { return error_; }
   Hca& hca() const noexcept { return *hca_; }
+  /// The rail this QP's traffic rides (set at create_qp, immutable).
+  Port& port() const noexcept { return *port_; }
   Node& node() const;
   ProtectionDomain& pd() const noexcept { return *pd_; }
   CompletionQueue& send_cq() const noexcept { return *send_cq_; }
@@ -143,6 +146,7 @@ class QueuePair {
   void match_recv();
 
   Hca* hca_;
+  Port* port_;
   ProtectionDomain* pd_;
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;

@@ -60,9 +60,13 @@ sim::Task<void> AdaptiveChannel::init() {
     kvs.put_u64(akey(rank(), p, "fin_addr"),
                 reinterpret_cast<std::uint64_t>(c.fin_flags.data()));
     kvs.put_u64(akey(rank(), p, "fin_rkey"), c.fin_mr->rkey());
+    // Aux QPs deal round-robin over the node's rails (rail 0 on a default
+    // fabric, so the single-rail creation order is unchanged); each rides
+    // its rail's port and completes into that rail's CQ.
+    c.rail_sched.assign(static_cast<std::size_t>(num_rails()), 0);
     c.aux.resize(static_cast<std::size_t>(naux));
     for (int i = 0; i < naux; ++i) {
-      c.aux[static_cast<std::size_t>(i)] = &node().hca().create_qp(pd(), cq(), cq());
+      c.aux[static_cast<std::size_t>(i)] = &create_rail_qp(i % num_rails());
       kvs.put_u64(akey(rank(), p, "aqpn" + std::to_string(i)),
                   c.aux[static_cast<std::size_t>(i)]->qp_num());
     }
@@ -132,7 +136,45 @@ void AdaptiveChannel::advance_release(AdaptiveConnection& c) {
   }
 }
 
-namespace {
+int AdaptiveChannel::aux_on_rail(const AdaptiveConnection& c, int rail) const {
+  for (std::size_t i = 0; i < c.aux.size(); ++i) {
+    ib::QueuePair* q = c.aux[i];
+    if (q->port().rail() == rail && q->port().up() && !q->in_error()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int AdaptiveChannel::pick_write_rail(AdaptiveConnection& c) {
+  const int R = num_rails();
+  if (cfg_.rail_policy == RailPolicy::kRoundRobin) {
+    for (int step = 0; step < R; ++step) {
+      const int r = static_cast<int>(
+          (c.rr_next + static_cast<std::size_t>(step)) %
+          static_cast<std::size_t>(R));
+      if (rail_up(r) && aux_on_rail(c, r) >= 0) {
+        c.rr_next = static_cast<std::size_t>((r + 1) % R);
+        return r;
+      }
+    }
+    return -1;
+  }
+  int best = -1;
+  double best_key = 0.0;
+  for (int r = 0; r < R; ++r) {
+    if (!rail_up(r) || aux_on_rail(c, r) < 0) continue;
+    const double key =
+        static_cast<double>(c.rail_sched[static_cast<std::size_t>(r)]) /
+        sel_.rail_weight(r);
+    if (best < 0 || key < best_key) {
+      best = r;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
 /// QP for an outbound write round's data+FIN pair.  Two pitfalls shape the
 /// choice.  On the main QP, a 64K data write parks ~75us of wire time in
 /// front of the ring's slot writes -- RTS slots for the *next* rendezvous
@@ -146,32 +188,99 @@ namespace {
 /// first aux QP is idle on the sending side (aux QPs initiate reads only
 /// on the receiving side); data and FIN stay on the *same* QP so in-order
 /// delivery still makes the flag vouch for the data.
-ib::QueuePair* write_round_qp(AdaptiveConnection& c, std::uint64_t) {
-  return c.aux.empty() ? c.qp : c.aux.front();
+///
+/// Multi-rail: each rendezvous is assigned a rail at its first CTS (whole
+/// rounds, never split -- the FIN must trail its round's data on one QP)
+/// and keeps it unless the rail dies, in which case the next round or the
+/// recovery rewrite moves it to a surviving rail.  Per-QP serialization
+/// still paces each rail's rounds at that rail's wire speed.
+ib::QueuePair* AdaptiveChannel::write_qp(AdaptiveConnection& c,
+                                         AdaptiveConnection::OutRndv& r) {
+  if (c.aux.empty()) return c.qp;
+  if (num_rails() <= 1) return c.aux.front();
+  if (r.rail >= 0 && rail_up(r.rail)) {
+    const int i = aux_on_rail(c, r.rail);
+    if (i >= 0) return c.aux[static_cast<std::size_t>(i)];
+  }
+  r.rail = pick_write_rail(c);
+  if (r.rail >= 0) {
+    const int i = aux_on_rail(c, r.rail);
+    if (i >= 0) return c.aux[static_cast<std::size_t>(i)];
+  }
+  return c.qp;  // every rail dead: the main QP carries the final attempts
 }
-}  // namespace
 
-int AdaptiveChannel::pick_read_qp(const AdaptiveConnection& c) const {
+int AdaptiveChannel::pick_read_qp(AdaptiveConnection& c) {
   // One read outstanding per QP (the HCA limit the pipeline exists to
   // hide): a QP is busy while an unfinished, unfailed chunk of *any*
   // inbound rendezvous rides on it.
   const int naux = static_cast<int>(c.aux.size());
-  const int lo = naux == 0 ? -1 : 0;
-  const int hi = naux == 0 ? 0 : naux;
-  for (int q = lo; q < hi; ++q) {
-    bool busy = false;
+  auto busy = [&c](int q) {
     for (const auto& r : c.inq) {
       for (const auto& ch : r.chunks) {
-        if (!ch.done && !ch.failed && ch.qp == q) {
-          busy = true;
-          break;
-        }
+        if (!ch.done && !ch.failed && ch.qp == q) return true;
       }
-      if (busy) break;
     }
-    if (!busy) return q;
+    return false;
+  };
+  if (num_rails() <= 1 || naux == 0) {
+    // Single rail (or main-QP fallback): the original in-order scan, so
+    // default fabrics produce the exact pre-multirail schedule.
+    const int lo = naux == 0 ? -1 : 0;
+    const int hi = naux == 0 ? 0 : naux;
+    for (int q = lo; q < hi; ++q) {
+      if (!busy(q)) return q;
+    }
+    return -2;
   }
-  return -2;
+  // Multi-rail: pick a live rail by stripe policy, then a free QP bound to
+  // it.  Only rails offering a free, healthy QP compete this round.
+  auto free_on_rail = [&](int rail) {
+    for (std::size_t i = 0; i < c.aux.size(); ++i) {
+      ib::QueuePair* q = c.aux[i];
+      if (q->port().rail() == rail && q->port().up() && !q->in_error() &&
+          !busy(static_cast<int>(i))) {
+        return static_cast<int>(i);
+      }
+    }
+    return -2;
+  };
+  const int R = num_rails();
+  if (cfg_.rail_policy == RailPolicy::kRoundRobin) {
+    // Naive strict rotation: chunk k rides rail k mod R (dead rails drop
+    // out of the rotation); when the turn rail has no free QP the stripe
+    // *waits* for it instead of borrowing another rail -- the baseline the
+    // weighted policy is measured against, and exactly how it loses on
+    // asymmetric fabrics (everything gates on the slowest rail).
+    for (int step = 0; step < R; ++step) {
+      const int r = static_cast<int>(
+          (c.rr_next + static_cast<std::size_t>(step)) %
+          static_cast<std::size_t>(R));
+      if (!rail_up(r)) continue;
+      const int q = free_on_rail(r);
+      if (q != -2) c.rr_next = static_cast<std::size_t>((r + 1) % R);
+      return q;
+    }
+    return -2;
+  }
+  // Weighted deficit: the rail furthest *behind* its goodput-proportional
+  // share of scheduled bytes takes the next chunk, so a slow rail settles
+  // at proportionally fewer chunks instead of gating the whole stripe.
+  int best_q = -2;
+  double best_key = 0.0;
+  for (int r = 0; r < R; ++r) {
+    if (!rail_up(r)) continue;
+    const int q = free_on_rail(r);
+    if (q == -2) continue;
+    const double key =
+        static_cast<double>(c.rail_sched[static_cast<std::size_t>(r)]) /
+        sel_.rail_weight(r);
+    if (best_q == -2 || key < best_key) {
+      best_q = q;
+      best_key = key;
+    }
+  }
+  return best_q;
 }
 
 void AdaptiveChannel::post_chunk_read(AdaptiveConnection& c,
@@ -179,6 +288,14 @@ void AdaptiveChannel::post_chunk_read(AdaptiveConnection& c,
                                       AdaptiveConnection::Chunk& ch) {
   ib::QueuePair* qp =
       ch.qp >= 0 ? c.aux[static_cast<std::size_t>(ch.qp)] : c.qp;
+  // Rail accounting covers replays too: a re-issued chunk is real traffic
+  // on whichever rail carries it now.
+  ch.rail = qp->port().rail();
+  ch.start = ctx_->sim().now();
+  if (static_cast<std::size_t>(ch.rail) < c.rail_sched.size()) {
+    c.rail_sched[static_cast<std::size_t>(ch.rail)] += ch.len;
+  }
+  note_rail(ch.rail, ch.len);
   qp->post_send(ib::SendWr{ch.wr,
                            ib::Opcode::kRdmaRead,
                            {ib::Sge{ch.dst, ch.len, ch.mr->lkey()}},
@@ -275,7 +392,12 @@ void AdaptiveChannel::handle_cts(AdaptiveConnection& c,
     r.round_base = r.w_sent;
     // Data straight from the loaned user buffer, FIN flag behind it on the
     // same QP: in-order delivery makes the flag vouch for the data.
-    ib::QueuePair* wqp = write_round_qp(c, r.token);
+    ib::QueuePair* wqp = write_qp(c, r);
+    const int rail = wqp->port().rail();
+    if (static_cast<std::size_t>(rail) < c.rail_sched.size()) {
+      c.rail_sched[static_cast<std::size_t>(rail)] += m;
+    }
+    note_rail(rail, m);
     wqp->post_send(ib::SendWr{next_wr_id(),
                               ib::Opcode::kRdmaWrite,
                               {ib::Sge{const_cast<std::byte*>(r.src) + r.w_sent,
@@ -475,6 +597,12 @@ sim::Task<void> AdaptiveChannel::harvest_chunks(
       continue;
     }
     ch.done = true;
+    // Per-rail goodput sample (chunk issued -> chunk retired): feeds the
+    // weighted stripe policy.  Relative accuracy across rails is all that
+    // matters here.
+    sel_.record_rail(ch.rail, ch.len,
+                     static_cast<double>(ctx_->sim().now() - ch.start) /
+                         sim::usec(1));
     co_await cache_->release(ch.mr);
     ch.mr = nullptr;
   }
@@ -816,11 +944,17 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
   auto& c = static_cast<AdaptiveConnection&>(conn);
 
   // Aux QPs are not torn down with the main QP's epoch: a drained errored
-  // QP returns to service in place, peer binding intact.
+  // QP returns to service in place, peer binding intact.  A QP whose rail
+  // died stays in the error state -- its port never comes back -- and the
+  // connection records the failover once; its traffic moves to surviving
+  // rails below.
   for (ib::QueuePair* q : c.aux) {
-    if (q->in_error()) {
-      co_await q->quiesce();
+    if (!q->in_error()) continue;
+    co_await q->quiesce();
+    if (q->port().up()) {
       q->reset();
+    } else {
+      note_rail_dead(c, q->port().rail());
     }
   }
 
@@ -828,6 +962,9 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
   // every failed chunk with a fresh destination registration (translation
   // state involved in a torn-down transfer is not trusted).  The sender's
   // source registration is held until our ack, so the rkey is still valid.
+  // A chunk whose QP died with its rail is reassigned in place (the deque
+  // position preserves offset-order retirement) to a surviving QP --
+  // queueing behind that QP's own chunk is acceptable on the failover path.
   for (auto& r : c.inq) {
     if (!r.read) continue;
     co_await harvest_chunks(c, r);
@@ -839,6 +976,20 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
       ch.mr = co_await cache_->acquire(dst, m);
       ch.wr = next_wr_id();
       ch.failed = false;
+      ib::QueuePair* cur =
+          ch.qp >= 0 ? c.aux[static_cast<std::size_t>(ch.qp)] : c.qp;
+      if (cur->in_error() || !cur->port().up()) {
+        // Dead rail: first healthy aux QP, else the fresh main QP (whose
+        // failure, with every rail dead, exhausts the recovery budget).
+        int nq = -1;
+        for (std::size_t i = 0; i < c.aux.size(); ++i) {
+          if (!c.aux[i]->in_error() && c.aux[i]->port().up()) {
+            nq = static_cast<int>(i);
+            break;
+          }
+        }
+        ch.qp = nq;
+      }
       post_chunk_read(c, r, ch);
       ++rndv_read_track_.retries;
       ++retransmits_;
@@ -855,7 +1006,11 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
       continue;
     }
     const std::size_t m = r.w_sent - r.round_base;
-    ib::QueuePair* wqp = write_round_qp(c, r.token);
+    // write_qp re-picks the round's rail if its old one died; the CTS
+    // window (receiver memory registration) is rail-agnostic, so the same
+    // rkey serves from the surviving rail.
+    ib::QueuePair* wqp = write_qp(c, r);
+    note_rail(wqp->port().rail(), m);
     wqp->post_send(
         ib::SendWr{next_wr_id(),
                    ib::Opcode::kRdmaWrite,

@@ -83,6 +83,9 @@ class AdaptiveConnection : public SlotConnection {
     sim::Tick start = 0;             // RTS post time (selector goodput)
     unsigned conc = 1;               // rendezvous in flight at start (incl. self)
     bool legacy = false;             // started by classic put()
+    /// Rail carrying this rendezvous' write rounds (multi-rail; -1 until
+    /// the first CTS assigns one, re-picked if the rail dies mid-round).
+    int rail = -1;
     // Write path: the currently open CTS round writes source bytes
     // [round_base, w_sent) into the advertised window.
     bool cts_seen = false;
@@ -114,6 +117,8 @@ class AdaptiveConnection : public SlotConnection {
     std::size_t len = 0;
     std::uint64_t wr = 0;
     int qp = -1;  // aux index; -1 = main QP (rndv_read_qps == 0)
+    int rail = 0;          // rail the carrying QP rides (stats/selector)
+    sim::Tick start = 0;   // post time, for the per-rail goodput EWMA
     std::byte* dst = nullptr;
     ib::MemoryRegion* mr = nullptr;
     bool done = false;
@@ -165,6 +170,13 @@ class AdaptiveConnection : public SlotConnection {
 
   /// Completion acks owed but not yet posted (ring was full), token order.
   std::deque<std::uint64_t> ack_queue;
+
+  // ---- multi-rail striping state ------------------------------------------
+  /// Bytes scheduled onto each rail by this connection (deficit counters
+  /// for the weighted stripe policy; indexed by flat rail index).
+  std::vector<std::uint64_t> rail_sched;
+  /// Round-robin cursor for RailPolicy::kRoundRobin.
+  std::size_t rr_next = 0;
 
   // ---- resources ----------------------------------------------------------
   std::vector<ib::QueuePair*> aux;  // my read-pipeline initiator QPs
@@ -257,11 +269,23 @@ class AdaptiveChannel : public PipelineChannel {
   void flush_acks(AdaptiveConnection& c);
   void advance_release(AdaptiveConnection& c);
   /// Aux QP (or main-QP fallback) with no read in flight across any
-  /// inbound rendezvous; -2 when none.
-  int pick_read_qp(const AdaptiveConnection& c) const;
+  /// inbound rendezvous; -2 when none.  Single-rail fabrics scan in aux
+  /// order (the original schedule); multi-rail fabrics first pick a live
+  /// rail by ChannelConfig::rail_policy, then a free QP bound to it.
+  int pick_read_qp(AdaptiveConnection& c);
   void post_chunk_read(AdaptiveConnection& c,
                        const AdaptiveConnection::InRndv& r,
                        AdaptiveConnection::Chunk& ch);
+  /// First usable aux QP riding `rail` (port up, not in error); -1 if none.
+  int aux_on_rail(const AdaptiveConnection& c, int rail) const;
+  /// Live rail for the next outbound write round, by stripe policy; -1
+  /// when every rail (with an aux QP) is dead.
+  int pick_write_rail(AdaptiveConnection& c);
+  /// QP carrying rendezvous `r`'s data+FIN round; assigns (or, after a rail
+  /// death, re-assigns) r.rail.  Falls back to the main QP when no aux QP
+  /// survives.
+  ib::QueuePair* write_qp(AdaptiveConnection& c,
+                          AdaptiveConnection::OutRndv& r);
 
   std::unique_ptr<RegCache> cache_;
   ProtocolSelector sel_;

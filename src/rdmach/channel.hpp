@@ -34,6 +34,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "pmi/pmi.hpp"
 #include "sim/task.hpp"
@@ -87,6 +88,12 @@ enum class Design {
 };
 
 const char* to_string(Design d);
+
+/// Stripe policy for spreading rendezvous traffic over a multi-rail node.
+enum class RailPolicy {
+  kWeighted,    // deficit scheduling against per-rail goodput EWMAs
+  kRoundRobin,  // strict rotation over live rails (naive baseline)
+};
 
 struct ChannelConfig {
   Design design = Design::kZeroCopy;
@@ -149,6 +156,14 @@ struct ChannelConfig {
   int selector_probe_interval = 32;
   /// EWMA weight for new goodput observations in the selector.
   double selector_alpha = 0.3;
+
+  // ---- multi-rail striping (nodes with >1 HCA/port) -----------------------
+  /// How rendezvous chunks are spread over the node's rails.  kWeighted
+  /// balances scheduled bytes against each rail's learned goodput EWMA (a
+  /// slow rail gets proportionally fewer chunks); kRoundRobin rotates
+  /// strictly -- the naive baseline the weighted policy is measured against.
+  /// Irrelevant on single-rail fabrics: rail 0 carries everything.
+  RailPolicy rail_policy = RailPolicy::kWeighted;
 };
 
 /// Per-protocol transfer counters for ChannelStats.
@@ -189,6 +204,18 @@ struct ChannelStats {
   /// Current write/read rendezvous crossover in bytes (adaptive design:
   /// the selector's learned boundary; others: 0).
   std::size_t write_read_crossover = 0;
+  // ---- multi-rail ---------------------------------------------------------
+  /// Per-rail data-plane traffic (indexed by the node's flat rail index).
+  /// `stripes` counts rendezvous chunks/rounds scheduled onto the rail;
+  /// `failovers` counts connections that abandoned it after it died.
+  struct RailStats {
+    std::uint64_t bytes = 0;
+    std::uint64_t stripes = 0;
+    std::uint64_t failovers = 0;
+  };
+  std::vector<RailStats> rails;
+  /// Total (connection, rail) pairs that failed over to surviving rails.
+  std::uint64_t rail_failovers = 0;
 };
 
 /// Raised by put/get when a connection is beyond recovery: the retry budget

@@ -58,6 +58,13 @@ class MultiMethodChannel : public Channel {
       s.eager_threshold = std::max(s.eager_threshold, t.eager_threshold);
       s.write_read_crossover =
           std::max(s.write_read_crossover, t.write_read_crossover);
+      if (t.rails.size() > s.rails.size()) s.rails.resize(t.rails.size());
+      for (std::size_t i = 0; i < t.rails.size(); ++i) {
+        s.rails[i].bytes += t.rails[i].bytes;
+        s.rails[i].stripes += t.rails[i].stripes;
+        s.rails[i].failovers += t.rails[i].failovers;
+      }
+      s.rail_failovers += t.rail_failovers;
     }
     return s;
   }

@@ -65,6 +65,34 @@ double ProtocolSelector::ewma_mbps(Proto p, std::size_t len) const {
   return p == Proto::kWrite ? b.write.mbps : b.read.mbps;
 }
 
+void ProtocolSelector::record_rail(int rail, std::uint64_t bytes,
+                                   double elapsed_usec) {
+  if (rail < 0 || elapsed_usec <= 0.0) return;
+  if (static_cast<std::size_t>(rail) >= rails_.size()) {
+    rails_.resize(static_cast<std::size_t>(rail) + 1);
+  }
+  Arm& a = rails_[static_cast<std::size_t>(rail)];
+  const double mbps = static_cast<double>(bytes) / elapsed_usec;  // B/us==MB/s
+  a.mbps = a.n == 0 ? mbps : (1.0 - cfg_.alpha) * a.mbps + cfg_.alpha * mbps;
+  ++a.n;
+}
+
+double ProtocolSelector::rail_mbps(int rail) const {
+  if (rail < 0 || static_cast<std::size_t>(rail) >= rails_.size()) return 0.0;
+  const Arm& a = rails_[static_cast<std::size_t>(rail)];
+  return a.n > 0 ? a.mbps : 0.0;
+}
+
+double ProtocolSelector::rail_weight(int rail) const {
+  const double own = rail_mbps(rail);
+  if (own > 0.0) return own;
+  double best = 0.0;
+  for (const Arm& a : rails_) {
+    if (a.n > 0 && a.mbps > best) best = a.mbps;
+  }
+  return best > 0.0 ? best : 1.0;
+}
+
 double ProtocolSelector::peak_mbps(Proto p) const {
   double best = 0.0;
   for (const Bucket& b : buckets_) {

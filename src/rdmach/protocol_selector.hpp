@@ -16,6 +16,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace rdmach {
 
@@ -59,6 +60,20 @@ class ProtocolSelector {
   double peak_mbps(Proto p) const;
   std::size_t eager_max() const noexcept { return cfg_.eager_max; }
 
+  // ---- per-rail goodput (multi-rail striping) -----------------------------
+  /// Reports one completed stripe chunk on `rail`: `bytes` moved in
+  /// `elapsed_usec` of virtual time (chunk issued to chunk retired).  Only
+  /// relative accuracy matters -- the weights steer the stripe split, they
+  /// are not a bandwidth figure.
+  void record_rail(int rail, std::uint64_t bytes, double elapsed_usec);
+  /// EWMA goodput of `rail` (0 when unsampled).
+  double rail_mbps(int rail) const;
+  /// Stripe weight for deficit scheduling.  Sampled rails use their EWMA;
+  /// an unsampled rail borrows the best sampled weight (optimistic, so new
+  /// or recovered rails get probed with real chunks), and with nothing
+  /// sampled anywhere every rail weighs 1.0 (pure equal split).
+  double rail_weight(int rail) const;
+
  private:
   // log2 buckets up to 2^47; bucket(len) groups [2^k, 2^(k+1)).
   static constexpr int kBuckets = 48;
@@ -84,6 +99,7 @@ class ProtocolSelector {
 
   Config cfg_;
   std::array<Bucket, kBuckets> buckets_{};
+  std::vector<Arm> rails_;  // grown on first record_rail for a rail index
 };
 
 }  // namespace rdmach

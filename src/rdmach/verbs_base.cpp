@@ -33,12 +33,24 @@ sim::Task<void> VerbsChannelBase::init() {
   pd_ = &node().hca().alloc_pd();
   cq_ = &node().hca().create_cq("rank" + std::to_string(rank()) + ".cq");
 
+  // Rail bundle: one CQ per rail, owned by the rail's HCA.  Rail 0 reuses
+  // the CQ above (legacy name, so single-rail runs are bit-identical).
+  num_rails_ = node().num_rails();
+  cqs_.assign(1, cq_);
+  for (int r = 1; r < num_rails_; ++r) {
+    cqs_.push_back(&node().rail(r).hca().create_cq(
+        "rank" + std::to_string(rank()) + ".rail" + std::to_string(r) +
+        ".cq"));
+  }
+  rail_track_.assign(static_cast<std::size_t>(num_rails_), {});
+
   conns_.clear();
   conns_.resize(static_cast<std::size_t>(size()));
   for (int p = 0; p < size(); ++p) {
     if (p == rank()) continue;
     auto conn = make_connection();
     conn->peer = p;
+    conn->rail_failed.assign(static_cast<std::size_t>(num_rails_), 0);
     conn->recv_ring.assign(cfg_.ring_bytes, std::byte{0});
     conn->staging.assign(cfg_.ring_bytes, std::byte{0});
     conn->ring_mr = co_await pd_->register_memory(
@@ -222,29 +234,33 @@ void VerbsChannelBase::post_tail_update(VerbsConnection& c) {
 }
 
 void VerbsChannelBase::drain_cq() {
-  while (auto wc = cq_->poll()) {
-    if (wc->status == ib::WcStatus::kTransportError ||
-        wc->status == ib::WcStatus::kFlushError) {
-      // Map the CQE back to its connection.  A qp_num missing from the
-      // index belongs to an already torn-down epoch (a straggler flush);
-      // it must not re-trip recovery on the replacement QP.
-      auto it = qp_index_.find(wc->qp_num);
-      if (it != qp_index_.end()) it->second->rec.failed = true;
+  // Every rail's CQ feeds one completion stash; wr_ids are unique across
+  // rails, so waiters don't care which CQ their CQE arrived on.
+  for (ib::CompletionQueue* cq : cqs_) {
+    while (auto wc = cq->poll()) {
+      if (wc->status == ib::WcStatus::kTransportError ||
+          wc->status == ib::WcStatus::kFlushError) {
+        // Map the CQE back to its connection.  A qp_num missing from the
+        // index belongs to an already torn-down epoch (a straggler flush);
+        // it must not re-trip recovery on the replacement QP.
+        auto it = qp_index_.find(wc->qp_num);
+        if (it != qp_index_.end()) it->second->rec.failed = true;
+      }
+      completed_[wc->wr_id] = *wc;
     }
-    completed_[wc->wr_id] = *wc;
-  }
-  if (cq_->overrun()) {
-    // Drain-and-rearm: an injected overrun dropped CQEs before they were
-    // queued.  Their true verdicts are unknowable (real HCAs lose them
-    // outright), so resurface each as a flush on its connection -- waiters
-    // unblock, the connection recovers, and replay (idempotent) redelivers
-    // whatever the lost completions covered.
-    for (ib::Wc wc : cq_->rearm()) {
-      wc.status = ib::WcStatus::kFlushError;
-      auto it = qp_index_.find(wc.qp_num);
-      if (it != qp_index_.end()) it->second->rec.failed = true;
-      completed_[wc.wr_id] = wc;
-      ++cq_overruns_;
+    if (cq->overrun()) {
+      // Drain-and-rearm: an injected overrun dropped CQEs before they were
+      // queued.  Their true verdicts are unknowable (real HCAs lose them
+      // outright), so resurface each as a flush on its connection -- waiters
+      // unblock, the connection recovers, and replay (idempotent) redelivers
+      // whatever the lost completions covered.
+      for (ib::Wc wc : cq->rearm()) {
+        wc.status = ib::WcStatus::kFlushError;
+        auto it = qp_index_.find(wc.qp_num);
+        if (it != qp_index_.end()) it->second->rec.failed = true;
+        completed_[wc.wr_id] = wc;
+        ++cq_overruns_;
+      }
     }
   }
 }
@@ -269,7 +285,14 @@ sim::Task<ib::Wc> VerbsChannelBase::await_completion(std::uint64_t wr_id) {
       }
       co_return wc;
     }
-    co_await cq_->wait_nonempty();
+    if (num_rails_ > 1) {
+      // A CQE may land on any rail's CQ; dma_arrival fires on every CQE
+      // delivery (including the overrun path), so it is the one event that
+      // covers them all.
+      co_await node().dma_arrival().wait();
+    } else {
+      co_await cq_->wait_nonempty();
+    }
   }
 }
 
@@ -392,9 +415,13 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
   co_await c.qp->quiesce();
   qp_index_.erase(c.qp->qp_num());
 
-  // Fresh QP; publish my half of the epoch handshake: the new QP number
-  // and how much of the peer's stream I had consumed (its replay start).
-  c.qp = &node().hca().create_qp(pd(), cq(), cq());
+  // Fresh QP on the lowest live rail (rail 0 unless its port died -- a rail
+  // failure is a failover, not a retry storm; with every rail dead we stay
+  // on rail 0 and let the attempt budget declare the connection dead).
+  // Publish my half of the epoch handshake: the new QP number and how much
+  // of the peer's stream I had consumed (its replay start).
+  if (!c.qp->port().up()) note_rail_dead(c, c.qp->port().rail());
+  c.qp = &create_rail_qp(lowest_live_rail());
   kvs.put_u64(rec_key(rank(), c.peer, next_epoch, "qpn"), c.qp->qp_num());
   kvs.put_u64(rec_key(rank(), c.peer, next_epoch, "consumed"),
               journal_consumed(c));

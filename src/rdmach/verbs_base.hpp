@@ -95,6 +95,11 @@ class VerbsConnection : public Connection {
   Recovery rec;
   ib::Node* peer_node = nullptr;  // for CM-style recovery wakeups
 
+  /// Rails this connection has stopped scheduling onto after their port
+  /// died -- the once-per-(connection, rail) guard behind the failover
+  /// counters.  Sized to the node's rail count at init.
+  std::vector<char> rail_failed;
+
   // ---- end-to-end integrity state (ChannelConfig::integrity_check) --------
   /// Basic design: rolling CRC32C over every byte ever put / verified on
   /// this direction.
@@ -135,6 +140,8 @@ class VerbsChannelBase : public Channel {
     s.reg_fallbacks = reg_fallbacks_;
     s.cq_overruns = cq_overruns_;
     s.credit_stalls = credit_stalls_;
+    s.rails.assign(rail_track_.begin(), rail_track_.end());
+    s.rail_failovers = rail_failovers_;
     return s;
   }
 
@@ -167,6 +174,49 @@ class VerbsChannelBase : public Channel {
   /// transfers are programmed correctly by construction, so a bad key or
   /// bounds violation here is a bug.
   sim::Task<ib::Wc> await_completion(std::uint64_t wr_id);
+
+  // ---- multi-rail bundle --------------------------------------------------
+  /// Rail count of this rank's node, fixed at init.  1 on the default
+  /// fabric; everything below collapses to the single-rail behavior then.
+  int num_rails() const noexcept { return num_rails_; }
+  /// The completion queue owned by `rail`'s HCA (rail 0 is cq()).
+  ib::CompletionQueue& rail_cq(int rail) const { return *cqs_[static_cast<std::size_t>(rail)]; }
+  /// Whether `rail`'s port is still up (initiator-side failure domain).
+  bool rail_up(int rail) const {
+    return rail >= 0 && rail < num_rails_ &&
+           node().rail(rail).up();
+  }
+  /// First live rail, or 0 when every rail is dead (the recovery loop then
+  /// keeps failing on it until the budget declares the connection dead).
+  int lowest_live_rail() const {
+    for (int r = 0; r < num_rails_; ++r) {
+      if (node().rail(r).up()) return r;
+    }
+    return 0;
+  }
+  /// Creates a QP bound to `rail`'s port, completing into that rail's CQ.
+  ib::QueuePair& create_rail_qp(int rail) {
+    ib::Port& port = node().rail(rail);
+    return port.hca().create_qp(pd(), rail_cq(rail), rail_cq(rail), port);
+  }
+  /// Accounts `bytes` of data-plane traffic scheduled onto `rail`.
+  void note_rail(int rail, std::uint64_t bytes) {
+    if (rail < 0 || rail >= num_rails_) return;
+    auto& t = rail_track_[static_cast<std::size_t>(rail)];
+    t.bytes += bytes;
+    ++t.stripes;
+  }
+  /// Records that connection `c` abandoned dead `rail` (idempotent per
+  /// (connection, rail): repeated recoveries of the same loss count once).
+  void note_rail_dead(VerbsConnection& c, int rail) {
+    if (rail < 0 || static_cast<std::size_t>(rail) >= c.rail_failed.size() ||
+        c.rail_failed[static_cast<std::size_t>(rail)]) {
+      return;
+    }
+    c.rail_failed[static_cast<std::size_t>(rail)] = 1;
+    ++rail_track_[static_cast<std::size_t>(rail)].failovers;
+    ++rail_failovers_;
+  }
 
   // ---- connection recovery ------------------------------------------------
   /// How many units (bytes or slots, the design's choice) of the peer's
@@ -264,6 +314,13 @@ class VerbsChannelBase : public Channel {
 
   ib::ProtectionDomain* pd_ = nullptr;
   ib::CompletionQueue* cq_ = nullptr;
+  /// One CQ per rail; cqs_[0] == cq_ (the legacy name "rankN.cq", so
+  /// single-rail traces are unchanged).  Completion dispatch drains all of
+  /// them; wr_ids are globally unique across rails.
+  std::vector<ib::CompletionQueue*> cqs_;
+  int num_rails_ = 1;
+  std::vector<ChannelStats::RailStats> rail_track_;
+  std::uint64_t rail_failovers_ = 0;
   std::unordered_map<std::uint64_t, ib::Wc> completed_;
   std::uint64_t wr_seq_ = 0;
   std::uint64_t recoveries_ = 0;

@@ -48,6 +48,19 @@ class FaultSchedule {
     bool fatal = true;
   };
 
+  /// Scope string the QP engines consult once per WQE initiated through
+  /// rail `rail` of `node` -- the per-rail failure domain of the multirail
+  /// fabric.  Any fault kind scheduled here takes the port down, sticky.
+  static std::string rail_scope(const std::string& node, int rail) {
+    return node + ".rail" + std::to_string(rail);
+  }
+
+  /// Kills rail `rail` of `node` at its `from`th WQE (and everything after:
+  /// a dead port never comes back; surviving rails absorb the stripe set).
+  void rail_down(const std::string& node, int rail, std::uint64_t from = 0) {
+    kill_from(rail_scope(node, rail), from);
+  }
+
   /// Kills the `nth` (0-based) operation observed in `scope`.
   void kill(const std::string& scope, std::uint64_t nth, bool fatal = true) {
     scopes_[scope].plans[nth] = Fault{Fault::Kind::kKill, fatal};

@@ -68,6 +68,14 @@ struct FaultPlan {
     return *this;
   }
 
+  /// Takes rail `rail` of that rank's node down, sticky, at the `from`th
+  /// WQE the rank initiates through it (multi-rail failure domains: the
+  /// surviving rails absorb the stripe set).
+  FaultPlan& rail_down(int rank, int rail, std::uint64_t from = 0) {
+    schedule.rail_down(scope_of(rank), rail, from);
+    return *this;
+  }
+
   /// Flips one payload bit in the `nth` WQE that rank's HCA processes; the
   /// operation still completes with kSuccess (silent data corruption).
   FaultPlan& corrupt(int rank, std::uint64_t nth) {
