@@ -31,6 +31,7 @@ mpib_add_bench(ext_onesided)
 mpib_add_bench(ext_rdma_coll)
 mpib_add_bench(ext_multimethod)
 mpib_add_bench(nas_profile)
+mpib_add_bench(nas_fault)
 
 mpib_add_bench(gb_components)
 target_link_libraries(gb_components PRIVATE benchmark::benchmark mpib_rdmach)
@@ -46,7 +47,10 @@ add_test(NAME perf.smoke.abl_integrity
          COMMAND abl_integrity --smoke)
 add_test(NAME perf.smoke.abl_multirail
          COMMAND abl_multirail --smoke)
+add_test(NAME perf.smoke.nas_fault
+         COMMAND nas_fault --smoke)
 set_tests_properties(perf.smoke.abl_adaptive perf.smoke.fig13_14_ch3_vs_rdma
                      perf.smoke.abl_integrity perf.smoke.abl_multirail
+                     perf.smoke.nas_fault
   PROPERTIES LABELS perf
              WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

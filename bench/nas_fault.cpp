@@ -1,0 +1,138 @@
+// NAS under fault: what a fault campaign costs on real kernels.
+//
+// For each NAS kernel the bench runs a clean baseline and the four seeded
+// standard mixes (kill-only, corrupt+exhaust, rail-down, combined) on the
+// same two-rail fabric and the same integrity-checked zero-copy channel,
+// with faults keyed to kernel progress through sim::FaultCampaign.  Every
+// run must finish with a *numerically verified* result -- recovery that
+// returns wrong answers fast is worthless -- and the combined mix must
+// cost at most 25% of clean Mop/s (the bound the recovery machinery is
+// engineered to; regressions fail the bench).  Emits BENCH_nasfault.json.
+//
+// Default scope: IS/FT/BT/CG/MG class A on 4 nodes (the paper's class-A
+// suite corners).  NASFAULT_FULL=1 widens to all eight kernels plus the
+// class-B/8 runs; --smoke narrows to IS alone for the perf ctest label.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "campaign_util.hpp"
+
+namespace {
+
+struct RunSpec {
+  std::string kernel;
+  int nprocs;
+  nas::Class cls;
+};
+
+constexpr double kMaxCombinedLossPct = 25.0;
+constexpr std::uint64_t kSeed = 2026;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode(argc, argv);
+  const bool full = std::getenv("NASFAULT_FULL") != nullptr;
+
+  std::vector<RunSpec> specs;
+  if (smoke) {
+    specs = {{"is", 4, nas::Class::A}};
+  } else if (full) {
+    for (const auto& [name, fn] : nas::suite()) {
+      specs.push_back({name, 4, nas::Class::A});
+    }
+    for (const char* k : {"is", "ft", "bt", "cg", "mg"}) {
+      specs.push_back({k, 8, nas::Class::B});
+    }
+  } else {
+    specs = {{"is", 4, nas::Class::A},
+             {"ft", 4, nas::Class::A},
+             {"bt", 4, nas::Class::A},
+             {"cg", 4, nas::Class::A},
+             {"mg", 4, nas::Class::A}};
+  }
+
+  const mpi::RuntimeConfig cfg =
+      benchutil::campaign_config(rdmach::Design::kZeroCopy);
+  const ib::FabricConfig fabric = benchutil::two_rail_fabric();
+  benchutil::JsonResult json("nas_fault");
+  bool ok = true;
+
+  benchutil::title(
+      "NAS under fault: Mop/s vs clean per seeded mix (zero-copy, 2 rails)");
+  std::printf("%-4s %-16s %8s %7s %6s %6s %9s %6s %5s\n", "bm", "mix", "Mop/s",
+              "loss%", "recov", "wdog", "replayB", "crcRx", "fail");
+
+  for (const RunSpec& spec : specs) {
+    const std::string phase = benchutil::phase_of(spec.kernel);
+    const benchutil::CampaignOutcome clean = benchutil::run_nas_campaign(
+        spec.kernel, spec.nprocs, spec.cls, cfg, nullptr, fabric);
+    const std::string label = std::string(nas::to_string(spec.cls)) + "/" +
+                              std::to_string(spec.nprocs);
+    if (!clean.completed || !clean.result.verified) {
+      std::printf("%-4s clean run failed (%s)\n", spec.kernel.c_str(),
+                  label.c_str());
+      ok = false;
+      continue;
+    }
+    std::printf("%-4s %-16s %8.1f %7s %6s %6s %9s %6s %5s  [%s]\n",
+                clean.result.name.c_str(), "clean", clean.result.mops, "-",
+                "-", "-", "-", "-", "-", label.c_str());
+    json.add(spec.kernel + "/clean", static_cast<std::size_t>(spec.nprocs),
+             clean.result.mops, "mops");
+
+    for (const auto& [mix_name, mix] : benchutil::standard_mixes()) {
+      sim::FaultCampaign campaign(kSeed);
+      mix(campaign, phase, spec.nprocs);
+      const benchutil::CampaignOutcome r = benchutil::run_nas_campaign(
+          spec.kernel, spec.nprocs, spec.cls, cfg, &campaign, fabric);
+      const std::string series = spec.kernel + "/" + mix_name;
+      if (r.wedged || !r.completed || r.errors > 0 || !r.result.verified) {
+        std::printf("%-4s %-16s FAILED: %s\n", spec.kernel.c_str(),
+                    mix_name.c_str(),
+                    r.wedged ? "wedged at deadline"
+                             : (r.errors > 0
+                                    ? r.error_whats.front().c_str()
+                                    : "result not verified"));
+        ok = false;
+        continue;
+      }
+      const double loss =
+          100.0 * (1.0 - r.result.mops / clean.result.mops);
+      std::printf("%-4s %-16s %8.1f %7.1f %6llu %6llu %9llu %6llu %5llu\n",
+                  r.result.name.c_str(), mix_name.c_str(), r.result.mops,
+                  loss,
+                  static_cast<unsigned long long>(r.stats.recoveries),
+                  static_cast<unsigned long long>(r.stats.watchdog_trips),
+                  static_cast<unsigned long long>(r.stats.replayed_bytes),
+                  static_cast<unsigned long long>(r.stats.retransmits),
+                  static_cast<unsigned long long>(r.stats.rail_failovers));
+      json.add(series, static_cast<std::size_t>(spec.nprocs), r.result.mops,
+               "mops");
+      json.add(series + "/loss", static_cast<std::size_t>(spec.nprocs), loss,
+               "pct");
+      json.add(series + "/recoveries", static_cast<std::size_t>(spec.nprocs),
+               static_cast<double>(r.stats.recoveries), "count");
+      json.add(series + "/replayed",
+               static_cast<std::size_t>(spec.nprocs),
+               static_cast<double>(r.stats.replayed_bytes), "bytes");
+      if (mix_name == "combined" && loss > kMaxCombinedLossPct) {
+        std::printf("%-4s combined-mix loss %.1f%% exceeds the %.0f%% bound\n",
+                    spec.kernel.c_str(), loss, kMaxCombinedLossPct);
+        ok = false;
+      }
+    }
+  }
+
+  json.write("BENCH_nasfault.json");
+  if (!ok) {
+    std::printf("\nnas_fault: FAILED (see rows above)\n");
+    return 1;
+  }
+  std::printf("\nnas_fault: all runs verified; combined-mix loss within "
+              "%.0f%%\n",
+              kMaxCombinedLossPct);
+  return 0;
+}

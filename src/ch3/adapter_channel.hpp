@@ -59,6 +59,7 @@ class AdapterChannel : public Ch3Channel, private PacketHandler {
   int size() const override { return ctx_->size; }
 
   rdmach::ChannelStats channel_stats() const override { return ch_->stats(); }
+  void reset_channel_stats() override { ch_->reset_stats(); }
 
   rdmach::Channel& channel() noexcept { return *ch_; }
 

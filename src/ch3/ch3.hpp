@@ -112,6 +112,11 @@ class Ch3Channel {
   virtual rdmach::ChannelStats channel_stats() const {
     return rdmach::ChannelStats{};
   }
+
+  /// Zeroes the counters behind channel_stats() (see Channel::reset_stats)
+  /// so a harness can measure one workload phase exactly, bootstrap
+  /// traffic excluded.  No-op when the implementation keeps none.
+  virtual void reset_channel_stats() {}
 };
 
 /// Which CH3 implementation an MPI job runs on.

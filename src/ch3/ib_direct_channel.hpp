@@ -52,6 +52,11 @@ class IbDirectChannel : public Ch3Channel, private PacketHandler {
     s.rndv_write.bytes += rndv_write_bytes_;
     return s;
   }
+  void reset_channel_stats() override {
+    verbs_->reset_stats();
+    rndv_write_ops_ = 0;
+    rndv_write_bytes_ = 0;
+  }
 
  private:
   /// Exposes the protected verbs plumbing of the slot-ring channel that

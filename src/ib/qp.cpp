@@ -84,6 +84,18 @@ sim::Task<void> QueuePair::wait_connected() {
   co_await sim::wait_until(*connected_, [this] { return peer_ != nullptr; });
 }
 
+sim::Task<bool> QueuePair::wait_connected_until(sim::Tick deadline) {
+  sim::Simulator& sim = connected_->simulator();
+  // The trigger re-evaluates predicates only when fired; fire it at the
+  // deadline so the time clause is observed.
+  sim::Trigger* t = connected_.get();
+  sim.call_at(deadline, [t] { t->fire(); });
+  co_await sim::wait_until(*connected_, [this, deadline, &sim] {
+    return peer_ != nullptr || sim.now() >= deadline;
+  });
+  co_return peer_ != nullptr;
+}
+
 sim::Task<void> QueuePair::quiesce() {
   co_await sim::wait_until(*quiesce_, [this] {
     return !busy_ && sq_->empty() && inflight_deliveries_ == 0 &&

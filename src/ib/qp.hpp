@@ -70,6 +70,12 @@ class QueuePair {
   /// re-handshakes use this on the rank that does not own the connect call.
   sim::Task<void> wait_connected();
 
+  /// wait_connected bounded by a virtual-time deadline (must be in the
+  /// future); returns whether the connection was established in time.  The
+  /// recovery watchdog uses this so a connect that never comes -- the peer
+  /// wedged or dead mid-handshake -- cannot park the waiter forever.
+  sim::Task<bool> wait_connected_until(sim::Tick deadline);
+
   /// Administratively moves the QP to the error state (connection
   /// teardown): subsequently posted WQEs flush; WQEs already being
   /// processed finish or error on their own.

@@ -188,6 +188,7 @@ sim::Task<Result> bt(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
   double prev = norm0;
   const double block_flops = 180.0;  // per point per block-line solve
   for (int it = 0; it < cfg.iters; ++it) {
+    notify_phase(world, "bt.sweep", it);
     for (int z = 0; z < nzl; ++z) {
       for (int y = 0; y < n; ++y) {
         thomas_block(diag, off, n, &u[zidx(z, y, 0)], 1);

@@ -106,6 +106,7 @@ sim::Task<Result> cg(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
   const double rho0 = rho;
 
   for (int it = 0; it < cfg.iters; ++it) {
+    notify_phase(world, "cg.iter", it);
     // Assemble the full search direction for the local SpMV.
     co_await world.allgatherv(p_loc.data(), rows, p_full.data(), counts,
                               displs, mpi::Datatype::kDouble);

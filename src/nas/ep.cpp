@@ -79,6 +79,7 @@ sim::Task<Result> ep(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
   co_await charge(ctx, static_cast<double>(mine) * 60.0);
 
   Tally global;
+  notify_phase(world, "ep.tally", 0);
   co_await world.allreduce(&local.sx, &global.sx, 2, mpi::Datatype::kDouble,
                            mpi::Op::kSum);
   co_await world.allreduce(local.q.data(), global.q.data(), 10,

@@ -220,6 +220,7 @@ sim::Task<Result> ft(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
   const double n_total =
       static_cast<double>(cfg.nx) * cfg.ny * cfg.nz;
   for (int it = 0; it < cfg.iters; ++it) {
+    notify_phase(world, "ft.pass", it);
     co_await fft3d(-1, /*forward=*/true);
     // Checksum of the spectrum (reduced): NAS-style per-iteration output.
     Cplx local{};

@@ -67,6 +67,7 @@ sim::Task<Result> is(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
 
   std::vector<int> sorted;  // my received range, sorted (last iteration)
   for (int iter = 0; iter < cfg.iterations; ++iter) {
+    notify_phase(world, "is.iter", iter);
     // 1. Histogram into per-destination buckets.
     std::vector<int> scounts(static_cast<std::size_t>(p), 0);
     for (int k : keys) ++scounts[static_cast<std::size_t>(owner(k))];

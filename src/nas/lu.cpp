@@ -112,6 +112,7 @@ sim::Task<Result> lu(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
 
   const int nblocks = n / cfg.block;
   for (int it = 0; it < cfg.iters; ++it) {
+    notify_phase(world, "lu.ssor", it);
     // Forward wavefront: dependency flows top -> bottom, pipelined per
     // column block.
     for (int b = 0; b < nblocks; ++b) {

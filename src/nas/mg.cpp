@@ -227,6 +227,7 @@ sim::Task<Result> mg(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
   bool monotone = true;
   double prev = norm0;
   for (int c = 0; c < cfg.cycles; ++c) {
+    notify_phase(world, "mg.cycle", c);
     co_await vcycle(0);
     co_await halo(world, fine, fine.u);
     residual(fine);

@@ -26,6 +26,18 @@ const std::vector<std::pair<std::string, KernelFn>>& suite() {
   return kSuite;
 }
 
+namespace {
+PhaseHook g_phase_hook;
+}  // namespace
+
+void set_phase_hook(PhaseHook hook) { g_phase_hook = std::move(hook); }
+
+void notify_phase(const mpi::Communicator& world, const std::string& phase,
+                  int iteration) {
+  if (!g_phase_hook) return;
+  g_phase_hook(PhaseEvent{phase, iteration, world.rank()});
+}
+
 KernelFn kernel(const std::string& name) {
   for (const auto& [n, fn] : suite()) {
     if (n == name) return fn;

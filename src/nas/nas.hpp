@@ -58,6 +58,39 @@ inline sim::Task<void> charge(pmi::Context& ctx, double flops) {
 using KernelFn =
     std::function<sim::Task<Result>(mpi::Communicator&, pmi::Context&, Class)>;
 
+// ---- kernel progress hooks --------------------------------------------------
+// Each kernel announces its main-loop progress ("is.iter" completed its 3rd
+// occurrence, ...) so external machinery -- fault campaigns above all
+// (sim/campaign.hpp) -- can key actions to *workload* phase rather than
+// wall-clock or raw operation counts.  The hook is process-global: the
+// simulation is single-threaded, and one harness observes all ranks.
+
+/// One progress event.  `phase` is "<kernel>.<loop>" ("is.iter", "ft.pass",
+/// "mg.cycle"); `iteration` counts occurrences per rank from 0.
+struct PhaseEvent {
+  std::string phase;
+  int iteration = 0;
+  int rank = 0;
+};
+
+using PhaseHook = std::function<void(const PhaseEvent&)>;
+
+/// Installs (or, with an empty function, clears) the global phase hook.
+void set_phase_hook(PhaseHook hook);
+
+/// Kernel-side announcement; a no-op when no hook is installed.
+void notify_phase(const mpi::Communicator& world, const std::string& phase,
+                  int iteration);
+
+/// RAII installer so harnesses cannot leak a hook past their scope.
+class ScopedPhaseHook {
+ public:
+  explicit ScopedPhaseHook(PhaseHook hook) { set_phase_hook(std::move(hook)); }
+  ~ScopedPhaseHook() { set_phase_hook({}); }
+  ScopedPhaseHook(const ScopedPhaseHook&) = delete;
+  ScopedPhaseHook& operator=(const ScopedPhaseHook&) = delete;
+};
+
 /// All eight kernels, in canonical suite order.
 const std::vector<std::pair<std::string, KernelFn>>& suite();
 

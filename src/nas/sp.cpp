@@ -89,6 +89,7 @@ sim::Task<Result> sp(mpi::Communicator& world, pmi::Context& ctx, Class cls) {
   bool monotone = true;
   double prev = norm0;
   for (int it = 0; it < cfg.iters; ++it) {
+    notify_phase(world, "sp.sweep", it);
     // x sweep (lines contiguous in the z-slab layout).
     for (int z = 0; z < nzl; ++z) {
       for (int y = 0; y < n; ++y) {

@@ -62,6 +62,27 @@ class Kvs {
     co_return it->second;
   }
 
+  /// get_unless with a virtual-time deadline: additionally returns (with
+  /// nullopt) once `deadline` passes with neither key published.  The
+  /// channel recovery watchdog bounds its handshake waits with this --
+  /// disambiguate timeout from abort by probing has(abort_key) afterwards.
+  /// `deadline` must be in the future.
+  sim::Task<std::optional<std::string>> get_unless_before(
+      std::string key, std::string abort_key, sim::Tick deadline) {
+    sim::Simulator& sim = published_.simulator();
+    // The trigger only re-evaluates predicates when fired; fire it at the
+    // deadline so the time clause below is actually observed.
+    sim.call_at(deadline, [this] { published_.fire(); });
+    co_await sim::wait_until(published_, [this, &key, &abort_key, deadline,
+                                          &sim] {
+      return entries_.count(key) > 0 || entries_.count(abort_key) > 0 ||
+             sim.now() >= deadline;
+    });
+    auto it = entries_.find(key);
+    if (it == entries_.end()) co_return std::nullopt;
+    co_return it->second;
+  }
+
   /// Non-blocking probe (PMI_KVS_Get with an immediate-failure return):
   /// recovery paths use it to check for a peer's "dead" marker without
   /// committing to wait for it.

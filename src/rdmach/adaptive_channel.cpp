@@ -993,6 +993,7 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
       post_chunk_read(c, r, ch);
       ++rndv_read_track_.retries;
       ++retransmits_;
+      replayed_bytes_ += m;
     }
   }
 
@@ -1039,6 +1040,7 @@ sim::Task<void> AdaptiveChannel::replay(VerbsConnection& conn,
         /*signaled=*/false});
     ++rndv_write_track_.retries;
     retransmits_ += 2;
+    replayed_bytes_ += m;
   }
 }
 

@@ -51,7 +51,7 @@ sim::Task<std::size_t> BasicChannel::put(Connection& conn,
     } else {
       post_ring_write(c, off, first, off, /*signaled=*/true, wr_id);
     }
-    const ib::Wc wc = co_await await_completion(wr_id);
+    const ib::Wc wc = co_await await_completion(c, wr_id);
     if (wc.status == ib::WcStatus::kSuccess) break;
     co_await maybe_recover(c);
   }
@@ -75,7 +75,7 @@ sim::Task<std::size_t> BasicChannel::put(Connection& conn,
         c.r_ctrl_addr + kCtrlHeadReplicaOff,
         c.r_ctrl_rkey,
         /*signaled=*/true});
-    const ib::Wc wc = co_await await_completion(head_wr);
+    const ib::Wc wc = co_await await_completion(c, head_wr);
     if (wc.status == ib::WcStatus::kSuccess) break;
     co_await maybe_recover(c);
   }
@@ -179,6 +179,7 @@ sim::Task<void> BasicChannel::replay(VerbsConnection& c,
     }
     post_head_update(c);
     ++retransmits_;
+    replayed_bytes_ += n;
   }
   co_return;
 }

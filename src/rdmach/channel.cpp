@@ -64,6 +64,21 @@ ChannelStats Channel::stats() const {
   return s;
 }
 
+void Channel::reset_stats() {
+  eager_track_ = ProtoTrack{};
+  rndv_write_track_ = ProtoTrack{};
+  rndv_read_track_ = ProtoTrack{};
+}
+
+std::string RecoverySnapshot::to_string() const {
+  return "recovery stuck at " + stage + ": epoch=" + std::to_string(epoch) +
+         " attempts=" + std::to_string(attempts) +
+         " journal_outstanding=" + std::to_string(journal_outstanding) +
+         " rails=" + std::to_string(live_rails) + "/" +
+         std::to_string(total_rails) + " nacks=" + std::to_string(nacks) +
+         " last_nack_epoch=" + std::to_string(last_nack_epoch);
+}
+
 std::unique_ptr<Channel> Channel::create(pmi::Context& ctx,
                                          const ChannelConfig& cfg) {
   if (cfg.chunk_bytes <= kSlotOverhead ||

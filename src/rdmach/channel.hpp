@@ -34,6 +34,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pmi/pmi.hpp"
@@ -135,6 +136,17 @@ struct ChannelConfig {
   sim::Tick recovery_backoff = sim::usec(20);
   /// Ceiling for the exponential backoff.
   sim::Tick recovery_backoff_cap = sim::usec(2000);
+  /// Recovery watchdog: virtual-time budget for one recovery *episode* (a
+  /// run of back-to-back attempts with no watermark progress).  An episode
+  /// still unfinished at its deadline -- spinning re-handshakes, a replay
+  /// whose completions never come, a handshake parked on a peer that never
+  /// answers -- is converted into ChannelError::kDead with a diagnostic
+  /// RecoverySnapshot instead of hanging forever.  Progress re-arms the
+  /// deadline, so long fault storms that keep moving data are not killed.
+  /// 0 disables the watchdog (attempt budget only).  Sized so the attempt
+  /// budget gets first say on the pure retry-spin path (default budget *
+  /// capped backoff ~= 16 ms << 50 ms).
+  sim::Tick recovery_epoch_deadline = sim::usec(50'000);
 
   // ---- adaptive rendezvous engine (Design::kAdaptive) ---------------------
   /// Static starting point for the write/read crossover: rendezvous of at
@@ -199,6 +211,12 @@ struct ChannelStats {
   /// put() attempts turned away by credit denial (receiver-not-ready
   /// backpressure instead of deadlock).
   std::uint64_t credit_stalls = 0;
+  /// Recovery episodes the watchdog aborted (stuck replay/re-handshake
+  /// converted into ChannelError::kDead).
+  std::uint64_t watchdog_trips = 0;
+  /// Bytes re-posted by recovery replay (journalled ring data, re-issued
+  /// rendezvous reads/rounds) -- the data-volume face of `retransmits`.
+  std::uint64_t replayed_bytes = 0;
   /// Current eager/rendezvous boundary in bytes.
   std::size_t eager_threshold = 0;
   /// Current write/read rendezvous crossover in bytes (adaptive design:
@@ -218,25 +236,59 @@ struct ChannelStats {
   std::uint64_t rail_failovers = 0;
 };
 
+/// Diagnostic state of a recovery episode at the moment it was given up,
+/// attached to the ChannelError so a failed NAS run (or chaos soak) reports
+/// *where* recovery was stuck without a debugger.
+struct RecoverySnapshot {
+  /// Where the episode died: "retry-budget", "watchdog:retry-loop",
+  /// "watchdog:handshake", "watchdog:connect", "watchdog:completion".
+  std::string stage;
+  std::uint64_t epoch = 0;  // completed re-handshakes on the connection
+  int attempts = 0;         // consecutive no-progress attempts so far
+  /// Journal units (design's choice: bytes or slots) produced but not yet
+  /// acknowledged consumed by the peer -- what a further replay would carry.
+  std::uint64_t journal_outstanding = 0;
+  int live_rails = 0;
+  int total_rails = 0;
+  /// Integrity NACKs raised on this connection, and the epoch of the last.
+  std::uint64_t nacks = 0;
+  std::uint64_t last_nack_epoch = 0;
+
+  std::string to_string() const;
+};
+
 /// Raised by put/get when a connection is beyond recovery: the retry budget
-/// is exhausted (locally or on the peer, via its published dead marker).
-/// The channel object itself stays usable for other peers; only the named
-/// connection is dead.
+/// is exhausted (locally or on the peer, via its published dead marker), or
+/// the recovery watchdog expired on a stuck episode.  The channel object
+/// itself stays usable for other peers; only the named connection is dead.
 class ChannelError : public std::runtime_error {
  public:
-  /// What exhausted the budget: kDead = transport errors (QPs kept dying),
-  /// kIntegrity = repeated end-to-end CRC mismatches that retransmission
-  /// could not clear.
+  /// What exhausted the budget: kDead = transport errors (QPs kept dying)
+  /// or a watchdog-detected hang, kIntegrity = repeated end-to-end CRC
+  /// mismatches that retransmission could not clear.
   enum Kind { kDead, kIntegrity };
 
   ChannelError(int peer, const std::string& what, Kind kind = kDead)
       : std::runtime_error(what), peer_(peer), kind_(kind) {}
+  ChannelError(int peer, const std::string& what, Kind kind,
+               RecoverySnapshot snapshot)
+      : std::runtime_error(what),
+        peer_(peer),
+        kind_(kind),
+        snapshot_(std::move(snapshot)),
+        has_snapshot_(true) {}
   int peer() const noexcept { return peer_; }
   Kind kind() const noexcept { return kind_; }
+  /// Episode diagnostics, present on errors raised by the recovery layer
+  /// (budget exhaustion and watchdog trips).
+  bool has_snapshot() const noexcept { return has_snapshot_; }
+  const RecoverySnapshot& snapshot() const noexcept { return snapshot_; }
 
  private:
   int peer_;
   Kind kind_;
+  RecoverySnapshot snapshot_;
+  bool has_snapshot_ = false;
 };
 
 /// Per-peer endpoint handle.  Concrete channels subclass this with their
@@ -319,6 +371,12 @@ class Channel {
 
   /// Snapshot of protocol decisions and per-protocol traffic counters.
   virtual ChannelStats stats() const;
+
+  /// Zeroes every counter behind stats() so per-run deltas are exact --
+  /// call it after init() (bootstrap traffic excluded) or between phases
+  /// that must be accounted separately.  Monotone-counter semantics resume
+  /// from zero; connection/protocol *state* is untouched.
+  virtual void reset_stats();
 
   // ---- conveniences -------------------------------------------------------
   // Coroutines (not plain forwarders) so the iov lives in the frame for the

@@ -55,6 +55,8 @@ class MultiMethodChannel : public Channel {
       s.reg_fallbacks += t.reg_fallbacks;
       s.cq_overruns += t.cq_overruns;
       s.credit_stalls += t.credit_stalls;
+      s.watchdog_trips += t.watchdog_trips;
+      s.replayed_bytes += t.replayed_bytes;
       s.eager_threshold = std::max(s.eager_threshold, t.eager_threshold);
       s.write_read_crossover =
           std::max(s.write_read_crossover, t.write_read_crossover);
@@ -67,6 +69,16 @@ class MultiMethodChannel : public Channel {
       s.rail_failovers += t.rail_failovers;
     }
     return s;
+  }
+
+  /// stats() sums the members' monotone counters, so exact per-run deltas
+  /// need the members themselves reset -- forwarding keeps the sum and its
+  /// parts consistent (the bug this override fixes: resetting only the
+  /// facade while the members kept counting).
+  void reset_stats() override {
+    Channel::reset_stats();
+    if (shm_) shm_->reset_stats();
+    if (net_) net_->reset_stats();
   }
 
  private:

@@ -242,8 +242,14 @@ sim::Task<void> PiggybackChannel::replay(VerbsConnection& conn,
     post_ring_write(c, ring_off, slot_bytes, ring_off, /*signaled=*/false,
                     next_wr_id());
     ++retransmits_;
+    replayed_bytes_ += slot_bytes;
   }
   co_return;
+}
+
+std::uint64_t PiggybackChannel::journal_produced(
+    const VerbsConnection& c) const {
+  return static_cast<const SlotConnection&>(c).slots_sent;
 }
 
 }  // namespace rdmach

@@ -172,6 +172,7 @@ class PiggybackChannel : public VerbsChannelBase {
 
   /// Slot-granular journal: the consumed watermark counts slots.
   std::uint64_t journal_consumed(const VerbsConnection& c) const override;
+  std::uint64_t journal_produced(const VerbsConnection& c) const override;
   /// Re-posts staged slots [peer_consumed, slots_sent) -- each slot's
   /// length is recovered from its staged header -- and resyncs both local
   /// views of the peer's consumption forward.

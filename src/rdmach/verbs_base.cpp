@@ -296,6 +296,78 @@ sim::Task<ib::Wc> VerbsChannelBase::await_completion(std::uint64_t wr_id) {
   }
 }
 
+sim::Task<ib::Wc> VerbsChannelBase::await_completion(VerbsConnection& c,
+                                                     std::uint64_t wr_id) {
+  ib::Wc wc;
+  for (;;) {
+    if (take_completion(wr_id, &wc)) {
+      if (wc.status == ib::WcStatus::kLocalProtectionError ||
+          wc.status == ib::WcStatus::kRemoteAccessError) {
+        throw std::logic_error(std::string("channel-internal WR failed: ") +
+                               ib::to_string(wc.status));
+      }
+      co_return wc;
+    }
+    if (watchdog_expired(c)) watchdog_abort(c, "completion");
+    if (watchdog_armed(c)) {
+      // Park against the node trigger (fired on every CQE delivery on any
+      // rail, and by the scheduled deadline wakeup) so this wait cannot
+      // outlive the episode deadline.
+      arm_watchdog_wakeup(c);
+      co_await node().dma_arrival().wait();
+    } else if (num_rails_ > 1) {
+      co_await node().dma_arrival().wait();
+    } else {
+      co_await cq_->wait_nonempty();
+    }
+  }
+}
+
+void VerbsChannelBase::arm_watchdog_wakeup(VerbsConnection& c) {
+  if (c.rec.deadline == 0 || c.rec.wakeup_armed == c.rec.deadline) return;
+  c.rec.wakeup_armed = c.rec.deadline;
+  sim::Simulator& sim = ctx_->sim();
+  if (c.rec.deadline <= sim.now()) return;
+  ib::Node* n = &node();
+  sim.call_at(c.rec.deadline, [n] { n->dma_arrival().fire(); });
+}
+
+RecoverySnapshot VerbsChannelBase::make_snapshot(const VerbsConnection& c,
+                                                 std::string stage) const {
+  RecoverySnapshot s;
+  s.stage = std::move(stage);
+  s.epoch = c.rec.epoch;
+  s.attempts = c.rec.attempts;
+  // Units the peer has not acknowledged consuming of my outgoing stream
+  // (bytes for the basic design, slots for the slot-ring family): what a
+  // further replay would have to carry.
+  const std::uint64_t produced = journal_produced(c);
+  s.journal_outstanding =
+      produced > c.rec.last_synced ? produced - c.rec.last_synced : 0;
+  s.total_rails = num_rails_;
+  for (int r = 0; r < num_rails_; ++r) {
+    if (node().rail(r).up()) ++s.live_rails;
+  }
+  s.nacks = c.rec.nacks;
+  s.last_nack_epoch = c.rec.last_nack_epoch;
+  return s;
+}
+
+void VerbsChannelBase::watchdog_abort(VerbsConnection& c, const char* stage) {
+  ++watchdog_trips_;
+  c.rec.dead = true;
+  // Same release protocol as budget exhaustion: the peer may be parked in
+  // its own handshake wait -- publish the verdict, then wake it.
+  ctx_->kvs->put(dead_key(rank(), c.peer), "1");
+  wake_peer(c);
+  node().dma_arrival().fire();
+  RecoverySnapshot snap = make_snapshot(c, std::string("watchdog:") + stage);
+  throw ChannelError(c.peer,
+                     "connection to rank " + std::to_string(c.peer) +
+                         " watchdog expired (" + snap.to_string() + ")",
+                     ChannelError::kDead, std::move(snap));
+}
+
 sim::Task<void> VerbsChannelBase::maybe_recover(VerbsConnection& c) {
   drain_cq();
   pmi::Kvs& kvs = *ctx_->kvs;
@@ -324,6 +396,8 @@ sim::Task<void> VerbsChannelBase::flush_crc_charge() {
 void VerbsChannelBase::flag_integrity_failure(VerbsConnection& c) {
   ++crc_failures_;
   c.integrity_failed = true;
+  c.rec.nacks++;
+  c.rec.last_nack_epoch = c.rec.epoch;
   node().dma_arrival().fire();
 }
 
@@ -382,6 +456,24 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
   // exhaustion rather than a transport death.
   if (c.integrity_failed) c.rec.integrity = true;
 
+  // Watchdog episode accounting.  A fresh episode -- first attempt ever,
+  // first after a progress refund, or first after a quiet gap longer than
+  // the deadline window -- (re)arms the deadline; an episode still spinning
+  // at its deadline is aborted here (the backoff below bounds the spacing
+  // of these checks, so a spin cannot dodge the deadline for long).
+  if (cfg_.recovery_epoch_deadline > 0) {
+    const sim::Tick now = sim.now();
+    const bool fresh = c.rec.deadline == 0 || c.rec.attempts == 0 ||
+                       now - c.rec.last_attempt > cfg_.recovery_epoch_deadline;
+    if (fresh) {
+      c.rec.deadline = now + cfg_.recovery_epoch_deadline;
+    } else if (now >= c.rec.deadline) {
+      ++c.rec.attempts;
+      watchdog_abort(c, "retry-loop");
+    }
+    c.rec.last_attempt = now;
+  }
+
   if (++c.rec.attempts > cfg_.recovery_max_attempts) {
     // Publish the verdict *before* throwing so the peer -- possibly parked
     // inside its own handshake wait -- is released rather than deadlocked.
@@ -397,7 +489,7 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
             std::to_string(cfg_.recovery_max_attempts) +
             " consecutive attempts without progress" +
             (kind == ChannelError::kIntegrity ? " (integrity)" : ""),
-        kind);
+        kind, make_snapshot(c, "retry-budget"));
   }
 
   // Bounded exponential backoff before touching the wire again.
@@ -427,13 +519,32 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
               journal_consumed(c));
   wake_peer(c);
 
-  // Join the peer's half -- unless it declared the connection dead.
-  auto peer_qpn_s = co_await kvs.get_unless(
-      rec_key(c.peer, rank(), next_epoch, "qpn"), dead_key(c.peer, rank()));
-  auto peer_consumed_s = co_await kvs.get_unless(
-      rec_key(c.peer, rank(), next_epoch, "consumed"),
-      dead_key(c.peer, rank()));
+  // Join the peer's half -- unless it declared the connection dead, or the
+  // watchdog deadline passes first (a peer that never answers must not
+  // park this rank forever).
+  const bool bounded = watchdog_armed(c);
+  std::optional<std::string> peer_qpn_s;
+  std::optional<std::string> peer_consumed_s;
+  if (bounded) {
+    peer_qpn_s = co_await kvs.get_unless_before(
+        rec_key(c.peer, rank(), next_epoch, "qpn"), dead_key(c.peer, rank()),
+        c.rec.deadline);
+    if (peer_qpn_s) {
+      peer_consumed_s = co_await kvs.get_unless_before(
+          rec_key(c.peer, rank(), next_epoch, "consumed"),
+          dead_key(c.peer, rank()), c.rec.deadline);
+    }
+  } else {
+    peer_qpn_s = co_await kvs.get_unless(
+        rec_key(c.peer, rank(), next_epoch, "qpn"), dead_key(c.peer, rank()));
+    peer_consumed_s = co_await kvs.get_unless(
+        rec_key(c.peer, rank(), next_epoch, "consumed"),
+        dead_key(c.peer, rank()));
+  }
   if (!peer_qpn_s || !peer_consumed_s) {
+    if (!kvs.has(dead_key(c.peer, rank())) && watchdog_expired(c)) {
+      watchdog_abort(c, "handshake");
+    }
     c.rec.dead = true;
     throw ChannelError(c.peer, "connection to rank " +
                                    std::to_string(c.peer) +
@@ -450,6 +561,9 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
       throw std::runtime_error("recovery: peer QP not found");
     }
     c.qp->connect(*peer_qp);
+  } else if (watchdog_armed(c)) {
+    const bool connected = co_await c.qp->wait_connected_until(c.rec.deadline);
+    if (!connected) watchdog_abort(c, "connect");
   } else {
     co_await c.qp->wait_connected();
   }
@@ -470,6 +584,10 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
       local_consumed > c.rec.last_synced_local) {
     c.rec.attempts = 0;
     c.rec.integrity = false;
+    // Progress ends the watchdog episode; the next attempt re-arms afresh.
+    if (cfg_.recovery_epoch_deadline > 0) {
+      c.rec.deadline = sim.now() + cfg_.recovery_epoch_deadline;
+    }
   }
   c.rec.last_synced = peer_consumed;
   c.rec.last_synced_local = local_consumed;

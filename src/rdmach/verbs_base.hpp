@@ -91,6 +91,22 @@ class VerbsConnection : public Connection {
     /// budget-exhaustion error ChannelError::kIntegrity.  Cleared with
     /// `attempts` whenever a recovery makes progress.
     bool integrity = false;
+    // ---- watchdog (ChannelConfig::recovery_epoch_deadline) ----------------
+    /// Virtual-time deadline of the current no-progress episode; armed by
+    /// the episode's first recovery attempt, re-armed on progress, expired
+    /// -> ChannelError::kDead with a RecoverySnapshot.  0 = never armed.
+    sim::Tick deadline = 0;
+    /// When the last recovery attempt started; a gap longer than the
+    /// deadline window means a *new* episode (re-arm, don't trip) even
+    /// though `attempts` carries over, mirroring the budget's semantics.
+    sim::Tick last_attempt = 0;
+    /// Deadline value a dma_arrival wakeup has been scheduled for (one
+    /// call_at per armed deadline, not one per parked wait).
+    sim::Tick wakeup_armed = 0;
+    /// Integrity NACKs ever raised on this connection + epoch of the last
+    /// (diagnostic snapshot fodder).
+    std::uint64_t nacks = 0;
+    std::uint64_t last_nack_epoch = 0;
   };
   Recovery rec;
   ib::Node* peer_node = nullptr;  // for CM-style recovery wakeups
@@ -140,9 +156,25 @@ class VerbsChannelBase : public Channel {
     s.reg_fallbacks = reg_fallbacks_;
     s.cq_overruns = cq_overruns_;
     s.credit_stalls = credit_stalls_;
+    s.watchdog_trips = watchdog_trips_;
+    s.replayed_bytes = replayed_bytes_;
     s.rails.assign(rail_track_.begin(), rail_track_.end());
     s.rail_failovers = rail_failovers_;
     return s;
+  }
+
+  void reset_stats() override {
+    Channel::reset_stats();
+    recoveries_ = 0;
+    crc_failures_ = 0;
+    retransmits_ = 0;
+    reg_fallbacks_ = 0;
+    cq_overruns_ = 0;
+    credit_stalls_ = 0;
+    watchdog_trips_ = 0;
+    replayed_bytes_ = 0;
+    rail_failovers_ = 0;
+    for (auto& t : rail_track_) t = ChannelStats::RailStats{};
   }
 
  protected:
@@ -174,6 +206,35 @@ class VerbsChannelBase : public Channel {
   /// transfers are programmed correctly by construction, so a bad key or
   /// bounds violation here is a bug.
   sim::Task<ib::Wc> await_completion(std::uint64_t wr_id);
+  /// Connection-aware variant: identical on the fault-free path (the
+  /// watchdog is unarmed there, so wait sources and wakeup order do not
+  /// change), but with a recovery episode in flight the park is bounded by
+  /// the episode deadline -- a completion that never comes trips the
+  /// watchdog (ChannelError::kDead + snapshot) instead of hanging forever.
+  /// Designs should use this for any wait a recovery/replay can depend on.
+  sim::Task<ib::Wc> await_completion(VerbsConnection& c, std::uint64_t wr_id);
+
+  // ---- recovery watchdog --------------------------------------------------
+  /// Whether `c` is inside an armed, still-current watchdog episode (a
+  /// stale deadline left over from a long-finished episode does not count).
+  bool watchdog_armed(const VerbsConnection& c) const {
+    if (cfg_.recovery_epoch_deadline == 0 || c.rec.deadline == 0) {
+      return false;
+    }
+    return ctx_->sim().now() - c.rec.last_attempt <=
+           cfg_.recovery_epoch_deadline;
+  }
+  /// Armed episode past its deadline?
+  bool watchdog_expired(const VerbsConnection& c) const {
+    return watchdog_armed(c) && ctx_->sim().now() >= c.rec.deadline;
+  }
+  /// Declares `c` dead with a diagnostic snapshot: publishes the dead
+  /// marker (releasing a peer parked in its own handshake), wakes both
+  /// sides, and throws ChannelError::kDead.  `stage` names the stuck wait.
+  [[noreturn]] void watchdog_abort(VerbsConnection& c, const char* stage);
+  /// Builds the diagnostic snapshot from `c`'s current recovery state.
+  RecoverySnapshot make_snapshot(const VerbsConnection& c,
+                                 std::string stage) const;
 
   // ---- multi-rail bundle --------------------------------------------------
   /// Rail count of this rank's node, fixed at init.  1 on the default
@@ -223,6 +284,12 @@ class VerbsChannelBase : public Channel {
   /// incoming stream this rank has consumed -- the watermark published to
   /// the peer during a re-handshake so it knows where replay must start.
   virtual std::uint64_t journal_consumed(const VerbsConnection& c) const = 0;
+  /// Units of my outgoing stream ever produced, in journal_consumed's
+  /// unit; snapshots report produced minus the peer's last acknowledged
+  /// watermark as the outstanding journal.
+  virtual std::uint64_t journal_produced(const VerbsConnection& c) const {
+    return c.ctrl.head_master;
+  }
   /// Re-posts, onto the freshly connected QP, everything past the peer's
   /// acknowledged watermark: journalled ring state from `staging`, plus any
   /// design-specific in-flight control traffic (e.g. an interrupted
@@ -287,6 +354,9 @@ class VerbsChannelBase : public Channel {
   std::uint64_t reg_fallbacks_ = 0;
   std::uint64_t cq_overruns_ = 0;
   std::uint64_t credit_stalls_ = 0;
+  std::uint64_t watchdog_trips_ = 0;
+  /// Bytes re-posted by replay; designs account at each replay post site.
+  std::uint64_t replayed_bytes_ = 0;
 
   std::vector<std::unique_ptr<VerbsConnection>> conns_;  // [peer]; self null
   /// Live QPs only; an error CQE whose qp_num is absent belongs to a torn
@@ -300,6 +370,10 @@ class VerbsChannelBase : public Channel {
   /// the retry budget runs out (publishing the dead marker first so the
   /// peer is released too).
   sim::Task<void> recover(VerbsConnection& c);
+  /// Schedules one dma_arrival self-wakeup at `c`'s episode deadline (at
+  /// most one per armed deadline value), so waits parked against the node
+  /// trigger are guaranteed a wakeup at expiry.
+  void arm_watchdog_wakeup(VerbsConnection& c);
   /// Finalize-time flush of one connection: quiesces the QP and re-runs
   /// recovery until every byte a put() accepted has actually been delivered
   /// (or the connection is dead, whose loss put/get already surfaced).

@@ -313,6 +313,7 @@ sim::Task<void> ZeroCopyChannel::replay(VerbsConnection& conn,
     c.r_dst_mr = co_await cache_->acquire(dst, m);
     c.r_read_wr = next_wr_id();
     ++retransmits_;
+    replayed_bytes_ += m;
     c.qp->post_send(ib::SendWr{c.r_read_wr,
                                ib::Opcode::kRdmaRead,
                                {ib::Sge{dst, m, c.r_dst_mr->lkey()}},

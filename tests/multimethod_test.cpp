@@ -40,6 +40,47 @@ TEST(MultiMethod, RoutesLocalPeersThroughSharedMemory) {
   sim.run();
 }
 
+TEST(MultiMethod, ResetStatsZeroesMemberCounters) {
+  // stats() sums the shm and net members' monotone counters; before
+  // reset_stats() forwarded to them, "resetting" the facade left the
+  // members counting and every post-reset delta included the whole
+  // bootstrap.  A reset right after traffic must therefore zero the
+  // summed ops/bytes, and fresh traffic afterwards must count from zero.
+  sim::Simulator sim;
+  ib::Fabric fabric(sim);
+  pmi::Job job(fabric, 4, 2);
+  ChannelConfig cfg;
+  cfg.design = Design::kMultiMethod;
+  std::vector<std::unique_ptr<Channel>> chans(4);
+  bool checked = false;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    chans[ctx.rank] = Channel::create(ctx, cfg);
+    Channel& ch = *chans[ctx.rank];
+    co_await ch.init();
+    const int buddy = ctx.rank ^ 1;  // same node: shm member
+    std::vector<std::byte> buf(4096);
+    if (ctx.rank % 2 == 0) {
+      co_await testutil::send_all(ch, ch.connection(buddy), buf.data(),
+                                  buf.size());
+    } else {
+      co_await testutil::recv_all(ch, ch.connection(buddy), buf.data(),
+                                  buf.size());
+    }
+    if (ctx.rank == 0) {
+      EXPECT_GE(ch.stats().eager.bytes, buf.size());
+      ch.reset_stats();
+      const ChannelStats after = ch.stats();
+      EXPECT_EQ(after.eager.ops, 0u);
+      EXPECT_EQ(after.eager.bytes, 0u);
+      EXPECT_EQ(after.rndv_write.bytes + after.rndv_read.bytes, 0u);
+      checked = true;
+    }
+    co_await ch.finalize();
+  });
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
 TEST(MultiMethod, DataIsByteExactOnBothPaths) {
   sim::Simulator sim;
   ib::Fabric fabric(sim);

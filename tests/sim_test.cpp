@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/campaign.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -407,6 +408,70 @@ TEST(Trace, SinkCountsAndBytes) {
   Tracer off;
   off.record(0, "x", "y");  // must be a safe no-op
   EXPECT_FALSE(off.enabled());
+}
+
+// Drains `n` operations from `scope`, returning the indices (relative to
+// the first drained op) at which the schedule delivered a fault.
+std::vector<std::uint64_t> drain(FaultSchedule& s, const std::string& scope,
+                                 std::uint64_t n) {
+  std::vector<std::uint64_t> hits;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (s.check(scope)) hits.push_back(i);
+  }
+  return hits;
+}
+
+TEST(FaultCampaign, AtPhaseArmsRelativeToObservedCount) {
+  FaultCampaign c;
+  c.at_phase("k.iter").kill(0, /*delta=*/2);
+  // Five operations happen before the phase event: the armed index must be
+  // relative to that moment, not to the start of the run.
+  drain(c.schedule(), "node0", 5);
+  c.on_phase("k.iter");
+  EXPECT_EQ(c.armed(), 1u);
+  const auto hits = drain(c.schedule(), "node0", 6);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);  // ops 5,6 clean; op 7 = observed(5) + delta(2)
+}
+
+TEST(FaultCampaign, FromRepeatEveryTimesGateOccurrences) {
+  FaultCampaign c;
+  auto& rule = c.at_phase("p").from(2).repeat_every(3).times(2).corrupt(1);
+  for (int i = 0; i < 12; ++i) c.on_phase("p");
+  // Eligible occurrences are 2, 5, 8, 11; times(2) stops after two.
+  EXPECT_EQ(rule.firings(), 2);
+  EXPECT_EQ(c.armed(), 2u);
+  c.on_phase("q");  // unrelated phase never matches
+  EXPECT_EQ(rule.firings(), 2);
+}
+
+TEST(FaultCampaign, JitterIsBoundedAndSeedReproducible) {
+  std::vector<std::uint64_t> hits[2];
+  for (int run = 0; run < 2; ++run) {
+    FaultCampaign c(/*seed=*/7);
+    c.at_phase("p").jitter(4).kill(3);
+    c.on_phase("p");
+    hits[run] = drain(c.schedule(), "node3", 10);
+    ASSERT_EQ(hits[run].size(), 1u);
+    EXPECT_LE(hits[run][0], 4u);  // delta 0 + jitter in [0, 4]
+  }
+  EXPECT_EQ(hits[0], hits[1]);  // same seed, same arming
+}
+
+TEST(FaultCampaign, RailDownAndExhaustUseScopedCounters) {
+  FaultCampaign c;
+  c.at_phase("p").rail_down(1, 1).exhaust_cq(0, /*n=*/2, /*delta=*/1);
+  drain(c.schedule(), FaultSchedule::rail_scope("node1", 1), 3);
+  drain(c.schedule(), "node0.cq", 2);
+  c.on_phase("p");
+  EXPECT_EQ(c.armed(), 3u);  // 1 rail kill + 2 exhausts
+  // Rail death is sticky from the occurrence point onward.
+  const auto rail =
+      drain(c.schedule(), FaultSchedule::rail_scope("node1", 1), 4);
+  EXPECT_EQ(rail.size(), 4u);
+  // CQ denial covers ops [observed(2) + 1, +2) of the .cq scope.
+  const auto cq = drain(c.schedule(), "node0.cq", 5);
+  EXPECT_EQ(cq, (std::vector<std::uint64_t>{1, 2}));
 }
 
 }  // namespace
