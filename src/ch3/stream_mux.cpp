@@ -12,6 +12,8 @@ void StreamMux::enqueue(int dst, const PktHeader& hdr, const void* payload,
   m.len = len;
   m.on_streamed = std::move(on_streamed);
   vcs_[static_cast<std::size_t>(dst)].sendq.push_back(std::move(m));
+  const auto it = std::lower_bound(work_.begin(), work_.end(), dst);
+  if (it == work_.end() || *it != dst) work_.insert(it, dst);
 }
 
 bool StreamMux::idle() const {
@@ -234,11 +236,36 @@ sim::Task<bool> StreamMux::progress_lookahead(int peer, Vc& vc) {
 
 sim::Task<bool> StreamMux::progress() {
   bool moved = false;
-  for (int p = 0; p < ch_->size(); ++p) {
+  const std::vector<int>* act = ch_->active_peers();
+  if (act == nullptr) {
+    // Eager channel: every VC may hold inbound data at any time, so the
+    // pass stays the original dense scan.
+    for (int p = 0; p < ch_->size(); ++p) {
+      if (p == ch_->rank()) continue;
+      Vc& vc = vcs_[static_cast<std::size_t>(p)];
+      moved |= co_await progress_send(p, vc);
+      moved |= co_await progress_recv(p, vc);
+    }
+    co_return moved;
+  }
+  // Lazy-connect channel: drive its connection control plane first (it can
+  // wire passive peers or tear down idle ones), then visit only the union
+  // of wired peers and VCs with queued sends -- everything else is
+  // provably idle, so a pass is O(active) instead of O(ranks).
+  co_await ch_->pre_progress();
+  act = ch_->active_peers();
+  scratch_.clear();
+  std::set_union(act->begin(), act->end(), work_.begin(), work_.end(),
+                 std::back_inserter(scratch_));
+  for (const int p : scratch_) {
     if (p == ch_->rank()) continue;
     Vc& vc = vcs_[static_cast<std::size_t>(p)];
     moved |= co_await progress_send(p, vc);
     moved |= co_await progress_recv(p, vc);
+    if (vc.sendq.empty() && vc.await_release.empty()) {
+      const auto it = std::lower_bound(work_.begin(), work_.end(), p);
+      if (it != work_.end() && *it == p) work_.erase(it);
+    }
   }
   co_return moved;
 }

@@ -7,6 +7,7 @@
 // reassembly and payload delivery into handler-provided sinks.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -108,6 +109,12 @@ class StreamMux {
   rdmach::Channel* ch_;
   PacketHandler* handler_;
   std::vector<Vc> vcs_;
+  /// Sparse iteration (lazy-connect channels): peers with queued or loaned
+  /// sends, sorted unique.  The union of this and the channel's active set
+  /// is everything a progress pass can move; all other VCs are provably
+  /// idle.  Unused (empty) when the channel reports no active set.
+  std::vector<int> work_;
+  std::vector<int> scratch_;  // per-pass snapshot of the union
 };
 
 }  // namespace ch3

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "ib/types.hpp"
 #include "sim/sync.hpp"
@@ -26,6 +27,17 @@ class CompletionQueue {
     Wc wc = entries_.front();
     entries_.pop_front();
     return wc;
+  }
+
+  /// Batched poll (ibv_poll_cq with a large entry array): appends every
+  /// queued CQE to `out` in arrival order and empties the queue.  Returns
+  /// the number appended.  One progress pass drains a whole rail's
+  /// completions with one call instead of one poll per WQE.
+  std::size_t poll_batch(std::vector<Wc>& out) {
+    const std::size_t n = entries_.size();
+    out.insert(out.end(), entries_.begin(), entries_.end());
+    entries_.clear();
+    return n;
   }
 
   /// Blocks until the CQ is non-empty -- or has overrun, which a consumer

@@ -12,14 +12,17 @@ namespace ib {
 namespace {
 
 /// Gathers an SGE list into a contiguous staging buffer (models the HCA's
-/// DMA engine reading the source at descriptor-processing time).
-std::vector<std::byte> gather(const std::vector<Sge>& sgl) {
+/// DMA engine reading the source at descriptor-processing time).  Staging
+/// storage comes from the simulator's buffer pool: per-WQE heap churn is
+/// the DES hot path at 1000-rank scale.
+sim::BufferPool::Buffer gather(sim::BufferPool& pool,
+                               const std::vector<Sge>& sgl) {
   std::size_t total = 0;
   for (const auto& s : sgl) total += s.length;
-  std::vector<std::byte> out(total);
+  sim::BufferPool::Buffer out = pool.acquire(total);
   std::size_t off = 0;
   for (const auto& s : sgl) {
-    std::memcpy(out.data() + off, s.addr, s.length);
+    std::memcpy(out->data() + off, s.addr, s.length);
     off += s.length;
   }
   return out;
@@ -137,12 +140,12 @@ void QueuePair::post_recv(RecvWr wr) {
     // RNR retry); consume it now.
     InboundSend inbound = std::move(unclaimed_.front());
     unclaimed_.pop_front();
-    if (inbound.data.size() > wr.total_length()) {
+    if (inbound.data->size() > wr.total_length()) {
       complete_now(*recv_cq_, Wc{wr.wr_id, WcStatus::kLocalProtectionError,
                                  Opcode::kSend, 0, qp_num_, true});
       return;
     }
-    const std::size_t n = scatter(inbound.data, wr.sgl);
+    const std::size_t n = scatter(*inbound.data, wr.sgl);
     complete_now(*recv_cq_, Wc{wr.wr_id, WcStatus::kSuccess, Opcode::kSend, n,
                                qp_num_, true});
     return;
@@ -208,7 +211,7 @@ void QueuePair::read_done() {
 }
 
 void QueuePair::deliver_send(InboundSend inbound) {
-  const std::size_t n = inbound.data.size();
+  const std::size_t n = inbound.data->size();
   if (rq_.empty()) {
     unclaimed_.push_back(std::move(inbound));
     return;
@@ -220,7 +223,7 @@ void QueuePair::deliver_send(InboundSend inbound) {
                                Opcode::kSend, 0, qp_num_, true});
     return;
   }
-  scatter(inbound.data, wr.sgl);
+  scatter(*inbound.data, wr.sgl);
   complete_now(*recv_cq_,
                Wc{wr.wr_id, WcStatus::kSuccess, Opcode::kSend, n, qp_num_,
                   true});
@@ -359,7 +362,7 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
       }
       fabric.tracer().record(sim.now(), tag, "rdma_write",
                              static_cast<std::int64_t>(n), wr.wr_id);
-      auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
+      auto staging = gather(sim.buffer_pool(), wr.sgl);
       if (corrupt_payload && !staging->empty()) {
         (*staging)[staging->size() / 2] ^= std::byte{1};
       }
@@ -386,7 +389,7 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
     case Opcode::kSend: {
       fabric.tracer().record(sim.now(), tag, "send",
                              static_cast<std::int64_t>(n), wr.wr_id);
-      auto staging = std::make_shared<std::vector<std::byte>>(gather(wr.sgl));
+      auto staging = gather(sim.buffer_pool(), wr.sgl);
       if (corrupt_payload && !staging->empty()) {
         (*staging)[staging->size() / 2] ^= std::byte{1};
       }
@@ -394,8 +397,8 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
           *port_, *peer_->port_, static_cast<std::int64_t>(n));
       QueuePair* peer = peer_;
       ++inflight_deliveries_;
-      sim.call_at(delivered, [this, staging, peer] {
-        peer->deliver_send(InboundSend{std::move(*staging)});
+      sim.call_at(delivered, [this, staging, peer]() mutable {
+        peer->deliver_send(InboundSend{std::move(staging)});
         peer->node().dma_arrival().fire();
         --inflight_deliveries_;
         quiesce_->fire();
@@ -499,7 +502,7 @@ sim::Task<void> QueuePair::responder_engine() {
     fabric.tracer().record(sim.now(), tag,
                            is_atomic ? "atomic_response" : "read_response",
                            static_cast<std::int64_t>(n), req.wr_id);
-    auto staging = std::make_shared<std::vector<std::byte>>(n);
+    auto staging = sim.buffer_pool().acquire(n);
     if (is_atomic) {
       // Execute the atomic at the responder: read-modify-write is a single
       // event in virtual time, so it is atomic with respect to every other

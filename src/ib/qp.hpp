@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -130,7 +131,9 @@ class QueuePair {
   };
 
   struct InboundSend {
-    std::vector<std::byte> data;
+    /// Pooled staging buffer (sim::BufferPool): releasing the last
+    /// reference returns the storage to the simulator's free list.
+    std::shared_ptr<std::vector<std::byte>> data;
   };
 
   sim::Task<void> send_engine();

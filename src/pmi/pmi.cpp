@@ -11,7 +11,7 @@ Job::Job(ib::Fabric& fabric, int n, int ranks_per_node)
   contexts_.reserve(static_cast<std::size_t>(n_));
   for (int r = 0; r < n_; ++r) {
     contexts_.push_back(
-        Context{r, n_,
+        Context{r, n_, ranks_per_node,
                 &fabric_->node(static_cast<std::size_t>(r / ranks_per_node)),
                 &kvs_, &barrier_});
   }

@@ -88,10 +88,34 @@ class Kvs {
   /// committing to wait for it.
   bool has(const std::string& key) const { return entries_.count(key) > 0; }
 
+  /// Non-blocking lookup: the value if published, nullptr otherwise.  Lazy
+  /// connection joins read a whole key family synchronously (no suspension
+  /// between reads) once the family's last-published sentinel key appears.
+  const std::string* find(const std::string& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Append-only mailbox: values accumulate per key in publish order and
+  /// are never overwritten.  Lazy connection establishment uses one mailbox
+  /// per rank ("lzm:<rank>") for connect/evict requests; consumers keep a
+  /// cursor into the list.  Fires the same trigger as put().
+  void append(const std::string& key, std::string value) {
+    mailboxes_[key].push_back(std::move(value));
+    published_.fire();
+  }
+
+  /// The mailbox list for `key` (possibly empty).  The reference is stable
+  /// across further append() calls.
+  const std::vector<std::string>& mail(const std::string& key) {
+    return mailboxes_[key];
+  }
+
   std::size_t size() const noexcept { return entries_.size(); }
 
  private:
   std::map<std::string, std::string> entries_;
+  std::map<std::string, std::vector<std::string>> mailboxes_;
   sim::Trigger published_;
 };
 
@@ -134,6 +158,10 @@ class Barrier {
 struct Context {
   int rank = 0;
   int size = 0;
+  /// Job layout: consecutive ranks per node, so peer rank r lives on fabric
+  /// node r / ranks_per_node (lazy connects wake that node's progress loop
+  /// without a QP in hand).
+  int ranks_per_node = 1;
   ib::Node* node = nullptr;
   Kvs* kvs = nullptr;
   Barrier* barrier = nullptr;

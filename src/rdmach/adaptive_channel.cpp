@@ -39,6 +39,7 @@ sim::Task<void> AdaptiveChannel::init() {
   co_await PipelineChannel::init();
   cache_ = std::make_unique<RegCache>(pd(), cfg_.reg_cache_capacity,
                                       cfg_.use_reg_cache);
+  if (cfg_.lazy_connect) co_return;  // extras built on demand, per peer
   pmi::Kvs& kvs = *ctx_->kvs;
   const int naux = std::max(0, cfg_.rndv_read_qps);
 
@@ -108,6 +109,86 @@ sim::Task<void> AdaptiveChannel::finalize() {
     c.fin_mr = nullptr;
     c.fin_src_mr = nullptr;
   }
+}
+
+sim::Task<void> AdaptiveChannel::lazy_setup_extra(VerbsConnection& conn) {
+  auto& c = static_cast<AdaptiveConnection&>(conn);
+  pmi::Kvs& kvs = *ctx_->kvs;
+  const int naux = std::max(0, cfg_.rndv_read_qps);
+  c.fin_flags.assign(2 * kFinSlots, 0);
+  c.fin_src.assign(2 * kFinSlots, 0);
+  c.fin_mr = co_await pd().register_memory(
+      c.fin_flags.data(), 2 * kFinSlots * sizeof(std::uint64_t),
+      ib::kAllAccess);
+  c.fin_src_mr = co_await pd().register_memory(
+      c.fin_src.data(), 2 * kFinSlots * sizeof(std::uint64_t),
+      ib::kAllAccess);
+  kvs.put_u64(lazy_key(rank(), c.peer, c.lz_gen, "fin_addr"),
+              reinterpret_cast<std::uint64_t>(c.fin_flags.data()));
+  kvs.put_u64(lazy_key(rank(), c.peer, c.lz_gen, "fin_rkey"),
+              c.fin_mr->rkey());
+  c.rail_sched.assign(static_cast<std::size_t>(num_rails()), 0);
+  c.rr_next = 0;
+  c.aux.assign(static_cast<std::size_t>(naux), nullptr);
+  for (int i = 0; i < naux; ++i) {
+    c.aux[static_cast<std::size_t>(i)] = &create_rail_qp(i % num_rails());
+    kvs.put_u64(
+        lazy_key(rank(), c.peer, c.lz_gen,
+                 ("aqpn" + std::to_string(i)).c_str()),
+        c.aux[static_cast<std::size_t>(i)]->qp_num());
+  }
+}
+
+sim::Task<void> AdaptiveChannel::lazy_join_extra(VerbsConnection& conn) {
+  auto& c = static_cast<AdaptiveConnection&>(conn);
+  pmi::Kvs& kvs = *ctx_->kvs;
+  // Every peer key under this generation is readable: the main-QP qpn
+  // sentinel the caller saw is published after all of them.
+  c.r_fin_addr = std::stoull(
+      *kvs.find(lazy_key(c.peer, rank(), c.lz_gen, "fin_addr")));
+  c.r_fin_rkey = static_cast<std::uint32_t>(
+      std::stoull(*kvs.find(lazy_key(c.peer, rank(), c.lz_gen, "fin_rkey"))));
+  if (rank() < c.peer) {
+    // The lower rank wires each aux pair; connect() is bidirectional, so
+    // by the time the higher rank sees the main QP connected its aux QPs
+    // are wired too.
+    for (std::size_t i = 0; i < c.aux.size(); ++i) {
+      if (c.aux[i]->connected()) continue;
+      const auto qpn = static_cast<std::uint32_t>(std::stoull(*kvs.find(
+          lazy_key(c.peer, rank(), c.lz_gen,
+                   ("aqpn" + std::to_string(static_cast<int>(i))).c_str()))));
+      ib::QueuePair* peer_qp = ctx_->fabric().find_qp(qpn);
+      if (peer_qp == nullptr) {
+        throw std::runtime_error("lazy connect: peer aux QP not found");
+      }
+      c.aux[i]->connect(*peer_qp);
+    }
+  }
+  for (ib::QueuePair* q : c.aux) qp_index_[q->qp_num()] = &c;
+  co_return;
+}
+
+sim::Task<void> AdaptiveChannel::lazy_evict_extra(VerbsConnection& conn) {
+  auto& c = static_cast<AdaptiveConnection&>(conn);
+  for (ib::QueuePair* q : c.aux) {
+    if (q == nullptr) continue;
+    q->close();
+    co_await q->quiesce();
+    qp_index_.erase(q->qp_num());
+  }
+  c.aux.clear();
+  if (c.fin_mr != nullptr) {
+    co_await pd().deregister(c.fin_mr);
+    c.fin_mr = nullptr;
+  }
+  if (c.fin_src_mr != nullptr) {
+    co_await pd().deregister(c.fin_src_mr);
+    c.fin_src_mr = nullptr;
+  }
+  c.fin_flags.clear();
+  c.fin_src.clear();
+  c.r_fin_addr = 0;
+  c.r_fin_rkey = 0;
 }
 
 void AdaptiveChannel::post_ctrl_slot(AdaptiveConnection& c, SlotKind kind,
@@ -486,6 +567,8 @@ sim::Task<std::size_t> AdaptiveChannel::engine(AdaptiveConnection& c,
                                                std::span<const ConstIov> iovs,
                                                bool pinned) {
   co_await node().compute(kAdStateOverhead);
+  const bool wired = co_await ensure_tx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
   co_await progress_sender(c);
 
@@ -791,6 +874,8 @@ sim::Task<std::size_t> AdaptiveChannel::get(Connection& conn,
                                             std::span<const Iov> iovs) {
   auto& c = static_cast<AdaptiveConnection&>(conn);
   co_await call_overhead();
+  const bool wired = co_await ensure_rx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
 
   const std::size_t want = total_length(iovs);
@@ -814,8 +899,8 @@ sim::Task<std::size_t> AdaptiveChannel::get(Connection& conn,
         const std::size_t n =
             std::min(want - delivered, hdr->payload_len - c.cur_slot_off);
         const std::byte* payload = slot_payload(c);
-        const std::size_t ring_pos = static_cast<std::size_t>(
-            payload - c.recv_ring.data() + c.cur_slot_off);
+        const std::size_t ring_pos =
+            static_cast<std::size_t>(payload - c.rx + c.cur_slot_off);
         co_await copy_out(c, ring_pos, iovs, delivered, n, want);
         c.cur_slot_off += n;
         delivered += n;
@@ -871,7 +956,7 @@ sim::Task<std::size_t> AdaptiveChannel::get(Connection& conn,
 sim::Task<std::size_t> AdaptiveChannel::get_ahead(Connection& conn,
                                                   std::span<const Iov> iovs) {
   auto& c = static_cast<AdaptiveConnection&>(conn);
-  if (c.inq.empty()) co_return 0;
+  if (!lazy_wired(c) || c.inq.empty()) co_return 0;
   co_await node().compute(kAdStateOverhead);
   const std::size_t want = total_length(iovs);
   std::size_t delivered = 0;
@@ -885,8 +970,8 @@ sim::Task<std::size_t> AdaptiveChannel::get_ahead(Connection& conn,
     const std::size_t n =
         std::min(want - delivered, hdr->payload_len - c.tail_off);
     const std::byte* payload = slot_payload_at(c, ahead_depth(c));
-    const std::size_t ring_pos = static_cast<std::size_t>(
-        payload - c.recv_ring.data() + c.tail_off);
+    const std::size_t ring_pos =
+        static_cast<std::size_t>(payload - c.rx + c.tail_off);
     co_await copy_out(c, ring_pos, iovs, delivered, n, want);
     c.tail_off += n;
     delivered += n;
@@ -903,6 +988,7 @@ sim::Task<std::size_t> AdaptiveChannel::get_ahead(Connection& conn,
 sim::Task<bool> AdaptiveChannel::attach_rndv(Connection& conn,
                                              std::span<const Iov> sink) {
   auto& c = static_cast<AdaptiveConnection&>(conn);
+  if (!lazy_wired(c)) co_return false;
   if (c.inq.empty() || c.inq.size() > rndv_lookahead()) co_return false;
   co_await node().compute(kAdStateOverhead);
   co_await scan_ahead_ctrl(c);

@@ -236,6 +236,34 @@ class AdaptiveChannel : public PipelineChannel {
   sim::Task<void> replay(VerbsConnection& c,
                          std::uint64_t peer_consumed) override;
 
+  /// Lazy-connect extras: the FIN-flag arrays and the read pipeline's aux
+  /// QPs are built with the local half of the on-demand handshake (their
+  /// endpoints publish under the generation-scoped keys), joined before
+  /// the main QP's commit point, and dropped at teardown.
+  sim::Task<void> lazy_setup_extra(VerbsConnection& c) override;
+  sim::Task<void> lazy_join_extra(VerbsConnection& c) override;
+  sim::Task<void> lazy_evict_extra(VerbsConnection& c) override;
+  /// Rendezvous tokens, segment loans, and queued acks live outside the
+  /// slot journal; a connection carrying any of them must not be torn down.
+  bool lazy_evictable(const VerbsConnection& conn) const override {
+    const auto& c = static_cast<const AdaptiveConnection&>(conn);
+    return c.out.empty() && c.inq.empty() && c.segs.empty() &&
+           c.ack_queue.empty() && !c.legacy_active;
+  }
+  void lazy_reset_journal(VerbsConnection& conn) override {
+    PiggybackChannel::lazy_reset_journal(conn);
+    auto& c = static_cast<AdaptiveConnection&>(conn);
+    c.out.clear();
+    c.segs.clear();
+    c.inq.clear();
+    c.ack_queue.clear();
+    c.legacy_active = false;
+    c.legacy_done = false;
+    c.legacy_len = 0;
+    c.tail_drained = 0;
+    c.tail_off = 0;
+  }
+
  private:
   sim::Task<std::size_t> engine(AdaptiveConnection& c,
                                 std::span<const ConstIov> iovs, bool pinned);

@@ -10,6 +10,8 @@ sim::Task<std::size_t> BasicChannel::put(Connection& conn,
                                          std::span<const ConstIov> iovs) {
   auto& c = static_cast<VerbsConnection&>(conn);
   co_await call_overhead();
+  const bool wired = co_await ensure_tx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
   if (credit_denied()) co_return 0;
 
@@ -89,6 +91,8 @@ sim::Task<std::size_t> BasicChannel::get(Connection& conn,
                                          std::span<const Iov> iovs) {
   auto& c = static_cast<VerbsConnection&>(conn);
   co_await call_overhead();
+  const bool wired = co_await ensure_rx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
 
   // 1. Check local replicas for new data.  With integrity on, only the
@@ -132,9 +136,8 @@ std::uint64_t BasicChannel::verify_incoming(VerbsConnection& c) {
   const std::size_t n = static_cast<std::size_t>(h - c.verified_head);
   const std::size_t off = static_cast<std::size_t>(c.verified_head % R);
   const std::size_t first = std::min(n, R - off);
-  std::uint32_t crc = crc32c_update(c.recv_crc, c.recv_ring.data() + off,
-                                    first);
-  if (first < n) crc = crc32c_update(crc, c.recv_ring.data(), n - first);
+  std::uint32_t crc = crc32c_update(c.recv_crc, c.rx + off, first);
+  if (first < n) crc = crc32c_update(crc, c.rx, n - first);
   charge_crc(n);
   if (crc != static_cast<std::uint32_t>(c.ctrl.head_replica_crc)) {
     // Data (or the head/CRC pair itself) corrupted in flight: NACK through

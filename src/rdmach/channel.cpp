@@ -55,6 +55,10 @@ sim::Task<bool> Channel::attach_rndv(Connection& conn,
   co_return false;  // no lookahead support
 }
 
+sim::Task<void> Channel::pre_progress() {
+  co_return;  // dense designs have no out-of-band service work
+}
+
 ChannelStats Channel::stats() const {
   ChannelStats s;
   s.eager = snapshot(eager_track_);

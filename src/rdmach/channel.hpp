@@ -176,6 +176,27 @@ struct ChannelConfig {
   /// strictly -- the naive baseline the weighted policy is measured against.
   /// Irrelevant on single-rail fabrics: rail 0 carries everything.
   RailPolicy rail_policy = RailPolicy::kWeighted;
+
+  // ---- rank-dimension scaling ---------------------------------------------
+  /// On-demand connection establishment: init() allocates no per-peer
+  /// rings/QPs; a connection is wired on the first put() toward a peer via
+  /// a PMI connect-request rendezvous (the passive side joins lazily when
+  /// it sees the request).  Off by default -- the eager bootstrap stays
+  /// bit-identical to the paper-era behavior.
+  bool lazy_connect = false;
+  /// Connection-cache budget (lazy_connect only): when more than this many
+  /// peers are wired, the least-recently-used fully-drained connection is
+  /// torn down (both sides agree through an evict handshake) and its peer
+  /// transparently re-connects on next use.  0 = unlimited (no eviction).
+  /// The bound is soft: a connection whose journal has outstanding entries
+  /// refuses eviction until drained.
+  int qp_budget = 0;
+  /// SRQ-style shared receive pool: receive rings come from a per-rank pool
+  /// of this many ring_bytes-sized leases (one MR for the whole pool)
+  /// instead of a dedicated allocation per peer.  Pool exhaustion maps onto
+  /// the credit-denial backpressure path (credit_stalls), not deadlock.
+  /// 0 = dedicated per-peer rings (the paper's layout).
+  std::size_t srq_pool_rings = 0;
 };
 
 /// Per-protocol transfer counters for ChannelStats.
@@ -234,6 +255,21 @@ struct ChannelStats {
   std::vector<RailStats> rails;
   /// Total (connection, rail) pairs that failed over to surviving rails.
   std::uint64_t rail_failovers = 0;
+  // ---- rank-dimension scaling (lazy connect / SRQ pool) -------------------
+  /// QPs this rank ever created (bootstrap, on-demand connects, recovery
+  /// re-handshakes, auxiliary read-pipeline QPs).
+  std::uint64_t qps_created = 0;
+  /// Connections torn down by the LRU connection cache (qp_budget).
+  std::uint64_t qps_evicted = 0;
+  /// Connections wired on demand (first-use or re-connect after eviction).
+  std::uint64_t connects_on_demand = 0;
+  /// Peak simultaneously leased rings in the shared receive pool.
+  std::uint64_t srq_pool_high_water = 0;
+  /// Bytes of per-rank communication memory currently resident: staging +
+  /// receive rings (pooled or dedicated) + control blocks.
+  std::uint64_t resident_bytes = 0;
+  /// Currently wired peer connections (O(active peers), not O(ranks)).
+  std::uint64_t qps_live = 0;
 };
 
 /// Diagnostic state of a recovery episode at the moment it was given up,
@@ -390,6 +426,17 @@ class Channel {
     const Iov iov{static_cast<std::byte*>(buf), len};
     co_return co_await get(conn, std::span<const Iov>(&iov, 1));
   }
+
+  // ---- sparse progress (rank-dimension scaling) ---------------------------
+  /// Peers with live channel state, sorted ascending -- the set a progress
+  /// loop must visit.  nullptr (the default, and always for eager
+  /// bootstrap) means "all peers": callers keep their dense per-rank scan,
+  /// bit-identical to the historical behavior.
+  virtual const std::vector<int>* active_peers() const { return nullptr; }
+  /// Out-of-band service hook for sparse progress loops: drains connection
+  /// requests / evict handshakes that no per-peer put/get would otherwise
+  /// observe.  No-op by default; called only when active_peers() != nullptr.
+  virtual sim::Task<void> pre_progress();
 
   /// Blocks until this rank may have new work (incoming DMA, completion,
   /// ...).  Progress loops call this between polls; pair with

@@ -57,6 +57,13 @@ class MultiMethodChannel : public Channel {
       s.credit_stalls += t.credit_stalls;
       s.watchdog_trips += t.watchdog_trips;
       s.replayed_bytes += t.replayed_bytes;
+      s.qps_created += t.qps_created;
+      s.qps_evicted += t.qps_evicted;
+      s.connects_on_demand += t.connects_on_demand;
+      s.qps_live += t.qps_live;
+      s.resident_bytes += t.resident_bytes;
+      s.srq_pool_high_water =
+          std::max(s.srq_pool_high_water, t.srq_pool_high_water);
       s.eager_threshold = std::max(s.eager_threshold, t.eager_threshold);
       s.write_read_crossover =
           std::max(s.write_read_crossover, t.write_read_crossover);

@@ -57,7 +57,7 @@ const SlotHeader* PiggybackChannel::peek_slot_at(SlotConnection& c,
   if (depth >= slot_count()) return nullptr;  // sender can't have sent it yet
   const std::uint64_t abs = c.slots_consumed + depth;
   const std::size_t idx = static_cast<std::size_t>(abs % slot_count());
-  const std::byte* slot = c.recv_ring.data() + idx * cfg_.chunk_bytes;
+  const std::byte* slot = c.rx + idx * cfg_.chunk_bytes;
   const auto* hdr = reinterpret_cast<const SlotHeader*>(slot);
   const std::uint32_t gen =
       static_cast<std::uint32_t>(abs / slot_count()) + 1;
@@ -112,7 +112,7 @@ const std::byte* PiggybackChannel::slot_payload_at(const SlotConnection& c,
                                                    std::uint64_t depth) const {
   const std::size_t idx =
       static_cast<std::size_t>((c.slots_consumed + depth) % slot_count());
-  return c.recv_ring.data() + idx * cfg_.chunk_bytes + sizeof(SlotHeader);
+  return c.rx + idx * cfg_.chunk_bytes + sizeof(SlotHeader);
 }
 
 void PiggybackChannel::consume_slot(SlotConnection& c) {
@@ -133,6 +133,8 @@ sim::Task<std::size_t> PiggybackChannel::put(Connection& conn,
                                              std::span<const ConstIov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await call_overhead();
+  const bool wired = co_await ensure_tx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
   if (credit_denied()) co_return 0;
 
@@ -187,6 +189,8 @@ sim::Task<std::size_t> PiggybackChannel::get(Connection& conn,
                                              std::span<const Iov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await call_overhead();
+  const bool wired = co_await ensure_rx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
 
   const std::size_t want = total_length(iovs);
@@ -200,8 +204,8 @@ sim::Task<std::size_t> PiggybackChannel::get(Connection& conn,
     const std::size_t n =
         std::min(want - delivered, hdr->payload_len - c.cur_slot_off);
     const std::byte* payload = slot_payload(c);
-    const std::size_t ring_pos = static_cast<std::size_t>(
-        payload - c.recv_ring.data() + c.cur_slot_off);
+    const std::size_t ring_pos =
+        static_cast<std::size_t>(payload - c.rx + c.cur_slot_off);
     co_await copy_out(c, ring_pos, iovs, delivered, n, want);
     c.cur_slot_off += n;
     delivered += n;

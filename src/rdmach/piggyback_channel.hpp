@@ -173,6 +173,31 @@ class PiggybackChannel : public VerbsChannelBase {
   /// Slot-granular journal: the consumed watermark counts slots.
   std::uint64_t journal_consumed(const VerbsConnection& c) const override;
   std::uint64_t journal_produced(const VerbsConnection& c) const override;
+  /// Piggybacked tails count as acknowledgements too (they rode inside
+  /// CRC-verified slots), so eviction is not held up waiting for an
+  /// explicit tail write that delayed-tail-update may never send.
+  std::uint64_t journal_acked(VerbsConnection& c) override {
+    auto& sc = static_cast<SlotConnection&>(c);
+    return std::max(checked_tail(sc), sc.tail_piggy);
+  }
+  /// Delayed tail update: consumed slots whose explicit tail write is still
+  /// deferred pin the peer's journal.  Under cache pressure, send it now.
+  void lazy_flush_acks(VerbsConnection& c) override {
+    auto& sc = static_cast<SlotConnection&>(c);
+    if (sc.consumed_since_update == 0) return;
+    post_tail_update(sc);
+    sc.consumed_since_update = 0;
+  }
+  /// A re-connected peer starts from slot 0 in a zeroed ring.
+  void lazy_reset_journal(VerbsConnection& c) override {
+    auto& sc = static_cast<SlotConnection&>(c);
+    sc.slots_sent = 0;
+    sc.tail_piggy = 0;
+    sc.slots_consumed = 0;
+    sc.cur_slot_off = 0;
+    sc.consumed_since_update = 0;
+    sc.slot_crc_ok.clear();
+  }
   /// Re-posts staged slots [peer_consumed, slots_sent) -- each slot's
   /// length is recovered from its staged header -- and resyncs both local
   /// views of the peer's consumption forward.

@@ -26,7 +26,19 @@ std::string dead_key(int from, int to) {
   return "rcv:" + std::to_string(from) + ":" + std::to_string(to) + ":dead";
 }
 
+/// Per-rank mailbox key of the lazy-connect control plane; messages are
+/// appended (Kvs::append) and consumed in FIFO order through a cursor, so
+/// an evict-ack for generation g is always processed before the connect
+/// request that opens generation g+1.
+std::string lz_mail_key(int r) { return "lzm:" + std::to_string(r); }
+
 }  // namespace
+
+std::string VerbsChannelBase::lazy_key(int from, int to, std::uint64_t gen,
+                                       const char* what) {
+  return "lz:" + std::to_string(from) + ":" + std::to_string(to) + ":" +
+         std::to_string(gen) + ":" + what;
+}
 
 sim::Task<void> VerbsChannelBase::init() {
   pmi::Kvs& kvs = *ctx_->kvs;
@@ -46,12 +58,41 @@ sim::Task<void> VerbsChannelBase::init() {
 
   conns_.clear();
   conns_.resize(static_cast<std::size_t>(size()));
+
+  if (cfg_.lazy_connect) {
+    // Lazy bootstrap: no per-pair rings, MRs, or QPs -- a rank's footprint
+    // at init is O(1), not O(ranks).  Connections are born cold; the first
+    // put() runs the on-demand handshake (ensure_tx / lazy_service).  The
+    // shared receive pool, when configured, is allocated and registered
+    // once here: one rkey covers every lease it will ever hand out.
+    if (cfg_.srq_pool_rings > 0) {
+      srq_pool_.reset(cfg_.srq_pool_rings, cfg_.ring_bytes);
+      srq_mr_ = co_await pd_->register_memory(
+          srq_pool_.base(), srq_pool_.bytes(), ib::kAllAccess);
+    }
+    for (int p = 0; p < size(); ++p) {
+      if (p == rank()) continue;
+      auto conn = make_connection();
+      conn->peer = p;
+      conn->rail_failed.assign(static_cast<std::size_t>(num_rails_), 0);
+      conn->boot = VerbsConnection::Boot::kCold;
+      // The peer's node is known from the process map alone -- needed for
+      // connect-request wakeups before any QP exists.
+      conn->peer_node = &ctx_->fabric().node(
+          static_cast<std::size_t>(p / ctx_->ranks_per_node));
+      conns_[static_cast<std::size_t>(p)] = std::move(conn);
+    }
+    co_await ctx_->barrier->arrive();
+    co_return;
+  }
+
   for (int p = 0; p < size(); ++p) {
     if (p == rank()) continue;
     auto conn = make_connection();
     conn->peer = p;
     conn->rail_failed.assign(static_cast<std::size_t>(num_rails_), 0);
     conn->recv_ring.assign(cfg_.ring_bytes, std::byte{0});
+    conn->rx = conn->recv_ring.data();
     conn->staging.assign(cfg_.ring_bytes, std::byte{0});
     conn->ring_mr = co_await pd_->register_memory(
         conn->recv_ring.data(), conn->recv_ring.size(), ib::kAllAccess);
@@ -61,6 +102,7 @@ sim::Task<void> VerbsChannelBase::init() {
                                                   sizeof(CtrlBlock),
                                                   ib::kAllAccess);
     conn->qp = &node().hca().create_qp(*pd_, *cq_, *cq_);
+    ++qps_created_;
     kvs.put_u64(key(rank(), p, "qpn"), conn->qp->qp_num());
     kvs.put_u64(key(rank(), p, "ring_addr"),
                 reinterpret_cast<std::uint64_t>(conn->recv_ring.data()));
@@ -100,6 +142,7 @@ sim::Task<void> VerbsChannelBase::init() {
     VerbsConnection& c = *conns_[static_cast<std::size_t>(p)];
     c.peer_node = &c.qp->peer()->node();
     qp_index_[c.qp->qp_num()] = &c;
+    ++qps_live_;
   }
 }
 
@@ -136,6 +179,9 @@ sim::Task<void> VerbsChannelBase::finalize() {
   // while its peer waited forever for the bytes.)
   for (auto& c : conns_) {
     if (!c) continue;
+    // Lazy mode: cold connections have nothing to drain; a half-built one
+    // (kRequested, peer never joined) has no wired QP either.
+    if (c->qp == nullptr || !c->qp->connected()) continue;
     co_await drain_connection(*c);
   }
 
@@ -146,8 +192,13 @@ sim::Task<void> VerbsChannelBase::finalize() {
   const std::uint64_t token = ctx_->barrier->arrive_split();
   while (!ctx_->barrier->done(token)) {
     bool serviced = false;
+    // A finalizing rank keeps answering the lazy control plane too: a
+    // slower peer may still need our half of an evict handshake to get out
+    // of kEvictWait.
+    if (cfg_.lazy_connect) co_await lazy_service();
     for (auto& cp : conns_) {
       if (!cp || cp->rec.dead) continue;
+      if (cp->qp == nullptr || !cp->qp->connected()) continue;
       drain_cq();
       if (cp->rec.failed || peer_epoch_pending(*cp)) {
         co_await drain_connection(*cp);
@@ -165,12 +216,23 @@ sim::Task<void> VerbsChannelBase::finalize() {
     wake_peer(*c);
   }
 
-  // All ranks have drained and stopped producing; buffers can go.
+  // All ranks have drained and stopped producing; buffers can go.  Cold
+  // lazy connections have no registrations; pooled rings go back to the
+  // shared pool (whose one registration is dropped last).
   for (auto& c : conns_) {
     if (!c) continue;
-    co_await pd_->deregister(c->ring_mr);
-    co_await pd_->deregister(c->staging_mr);
-    co_await pd_->deregister(c->ctrl_mr);
+    if (c->ring_mr != nullptr) co_await pd_->deregister(c->ring_mr);
+    if (c->staging_mr != nullptr) co_await pd_->deregister(c->staging_mr);
+    if (c->ctrl_mr != nullptr) co_await pd_->deregister(c->ctrl_mr);
+    if (c->ring_pooled) {
+      srq_pool_.release(c->rx);
+      c->ring_pooled = false;
+      c->rx = nullptr;
+    }
+  }
+  if (srq_mr_ != nullptr) {
+    co_await pd_->deregister(srq_mr_);
+    srq_mr_ = nullptr;
   }
   co_await ctx_->barrier->arrive();
 }
@@ -237,16 +299,20 @@ void VerbsChannelBase::drain_cq() {
   // Every rail's CQ feeds one completion stash; wr_ids are unique across
   // rails, so waiters don't care which CQ their CQE arrived on.
   for (ib::CompletionQueue* cq : cqs_) {
-    while (auto wc = cq->poll()) {
-      if (wc->status == ib::WcStatus::kTransportError ||
-          wc->status == ib::WcStatus::kFlushError) {
+    // Batched poll: one call drains the whole rail instead of one poll per
+    // WQE (the reused scratch keeps the hot path allocation-free).
+    wc_scratch_.clear();
+    cq->poll_batch(wc_scratch_);
+    for (const ib::Wc& wc : wc_scratch_) {
+      if (wc.status == ib::WcStatus::kTransportError ||
+          wc.status == ib::WcStatus::kFlushError) {
         // Map the CQE back to its connection.  A qp_num missing from the
         // index belongs to an already torn-down epoch (a straggler flush);
         // it must not re-trip recovery on the replacement QP.
-        auto it = qp_index_.find(wc->qp_num);
+        auto it = qp_index_.find(wc.qp_num);
         if (it != qp_index_.end()) it->second->rec.failed = true;
       }
-      completed_[wc->wr_id] = *wc;
+      completed_[wc.wr_id] = wc;
     }
     if (cq->overrun()) {
       // Drain-and-rearm: an injected overrun dropped CQEs before they were
@@ -595,6 +661,457 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
   co_await replay(c, peer_consumed);
 }
 
+sim::Task<void> VerbsChannelBase::lazy_setup_extra(VerbsConnection&) {
+  co_return;
+}
+sim::Task<void> VerbsChannelBase::lazy_join_extra(VerbsConnection&) {
+  co_return;
+}
+sim::Task<void> VerbsChannelBase::lazy_evict_extra(VerbsConnection&) {
+  co_return;
+}
+
+sim::Task<void> VerbsChannelBase::pre_progress() {
+  if (cfg_.lazy_connect) co_await lazy_service();
+}
+
+void VerbsChannelBase::lz_post_mail(VerbsConnection& c, std::string msg) {
+  ctx_->kvs->append(lz_mail_key(c.peer), std::move(msg));
+  wake_peer(c);
+}
+
+void VerbsChannelBase::lz_activate(int peer) {
+  auto it = std::lower_bound(active_.begin(), active_.end(), peer);
+  if (it == active_.end() || *it != peer) active_.insert(it, peer);
+}
+
+void VerbsChannelBase::lz_deactivate(int peer) {
+  auto it = std::lower_bound(active_.begin(), active_.end(), peer);
+  if (it != active_.end() && *it == peer) active_.erase(it);
+}
+
+void VerbsChannelBase::lz_unpend(int peer) {
+  lz_pending_.erase(std::remove(lz_pending_.begin(), lz_pending_.end(), peer),
+                    lz_pending_.end());
+}
+
+sim::Task<void> VerbsChannelBase::lz_pace(VerbsConnection& c,
+                                          const char* stage) {
+  sim::Simulator& sim = ctx_->sim();
+  if (sim.now() < c.lz_next_attempt) co_return;
+  if (++c.rec.attempts > cfg_.recovery_max_attempts) {
+    // Same release protocol as recovery budget exhaustion: publish the
+    // verdict before throwing so a peer parked in its own half of the
+    // handshake is released rather than deadlocked.
+    c.rec.dead = true;
+    ctx_->kvs->put(dead_key(rank(), c.peer), "1");
+    wake_peer(c);
+    throw ChannelError(c.peer,
+                       "connection to rank " + std::to_string(c.peer) +
+                           " beyond reach: " +
+                           std::to_string(cfg_.recovery_max_attempts) +
+                           " lazy-connect attempts without an answer (" +
+                           stage + ")",
+                       ChannelError::kDead, make_snapshot(c, stage));
+  }
+  sim::Tick backoff = cfg_.recovery_backoff;
+  for (int i = 1;
+       i < c.rec.attempts && backoff < cfg_.recovery_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  c.lz_next_attempt = sim.now() + std::min(backoff, cfg_.recovery_backoff_cap);
+  // Guaranteed self-wakeup at the next pacing step: a sender whose put()
+  // keeps returning 0 may have no other future event, and a parked progress
+  // loop with an empty queue would otherwise be a DeadlockError.
+  ib::Node* n = &node();
+  sim.call_at(c.lz_next_attempt, [n] { n->dma_arrival().fire(); });
+  wake_peer(c);  // re-nudge: the peer may have slept through the first one
+}
+
+sim::Task<bool> VerbsChannelBase::lazy_setup_local(VerbsConnection& c) {
+  if (c.lz_local_ready) co_return true;
+  pmi::Kvs& kvs = *ctx_->kvs;
+  std::uint64_t ring_addr = 0;
+  std::uint32_t ring_rkey = 0;
+  if (srq_pool_.configured()) {
+    std::byte* lease = srq_pool_.acquire();
+    if (lease == nullptr) {
+      // Shared-pool exhaustion maps onto the credit-denial degradation
+      // path: backpressure (the requester stays cold, a delayed wakeup
+      // retries), never a deadlock.
+      ++credit_stalls_;
+      schedule_retry_wakeup();
+      co_return false;
+    }
+    c.rx = lease;
+    c.ring_pooled = true;
+    ring_addr = reinterpret_cast<std::uint64_t>(lease);
+    ring_rkey = srq_mr_->rkey();
+  } else {
+    c.recv_ring.assign(cfg_.ring_bytes, std::byte{0});
+    c.rx = c.recv_ring.data();
+    c.ring_mr = co_await pd_->register_memory(c.rx, cfg_.ring_bytes,
+                                              ib::kAllAccess);
+    ring_addr = reinterpret_cast<std::uint64_t>(c.rx);
+    ring_rkey = c.ring_mr->rkey();
+  }
+  c.staging.assign(cfg_.ring_bytes, std::byte{0});
+  c.staging_mr = co_await pd_->register_memory(c.staging.data(),
+                                               c.staging.size(),
+                                               ib::kAllAccess);
+  c.ctrl = CtrlBlock{};
+  c.ctrl_mr = co_await pd_->register_memory(&c.ctrl, sizeof(CtrlBlock),
+                                            ib::kAllAccess);
+  c.qp = &create_rail_qp(lowest_live_rail());
+  kvs.put_u64(lazy_key(rank(), c.peer, c.lz_gen, "ring_addr"), ring_addr);
+  kvs.put_u64(lazy_key(rank(), c.peer, c.lz_gen, "ring_rkey"), ring_rkey);
+  kvs.put_u64(lazy_key(rank(), c.peer, c.lz_gen, "ctrl_addr"),
+              reinterpret_cast<std::uint64_t>(&c.ctrl));
+  kvs.put_u64(lazy_key(rank(), c.peer, c.lz_gen, "ctrl_rkey"),
+              c.ctrl_mr->rkey());
+  co_await lazy_setup_extra(c);
+  // qpn is published last: its presence tells the peer that every other
+  // key of this generation (including design extras) is readable
+  // synchronously -- the join never blocks on a half-written half.
+  kvs.put_u64(lazy_key(rank(), c.peer, c.lz_gen, "qpn"), c.qp->qp_num());
+  c.lz_local_ready = true;
+  wake_peer(c);
+  co_return true;
+}
+
+sim::Task<void> VerbsChannelBase::lazy_advance(VerbsConnection& c) {
+  if (c.boot != VerbsConnection::Boot::kRequested) co_return;
+  pmi::Kvs& kvs = *ctx_->kvs;
+  if (kvs.has(dead_key(c.peer, rank()))) {
+    // The peer died mid-handshake; its verdict surfaces at the next
+    // put/get on this connection.  Local registrations (if any) are
+    // reclaimed at finalize.
+    c.rec.dead = true;
+    lz_unpend(c.peer);
+    co_return;
+  }
+  const bool have_local = co_await lazy_setup_local(c);
+  if (!have_local) co_return;
+  const std::string* qpn_s = kvs.find(lazy_key(c.peer, rank(), c.lz_gen,
+                                               "qpn"));
+  if (qpn_s == nullptr) co_return;  // peer half not published yet
+  c.r_ring_addr =
+      std::stoull(*kvs.find(lazy_key(c.peer, rank(), c.lz_gen, "ring_addr")));
+  c.r_ring_rkey = static_cast<std::uint32_t>(
+      std::stoull(*kvs.find(lazy_key(c.peer, rank(), c.lz_gen, "ring_rkey"))));
+  c.r_ctrl_addr =
+      std::stoull(*kvs.find(lazy_key(c.peer, rank(), c.lz_gen, "ctrl_addr")));
+  c.r_ctrl_rkey = static_cast<std::uint32_t>(
+      std::stoull(*kvs.find(lazy_key(c.peer, rank(), c.lz_gen, "ctrl_rkey"))));
+  if (rank() < c.peer) {
+    if (!c.qp->connected()) {
+      ib::QueuePair* peer_qp =
+          ctx_->fabric().find_qp(static_cast<std::uint32_t>(
+              std::stoull(*qpn_s)));
+      if (peer_qp == nullptr) {
+        throw std::runtime_error("lazy connect: peer QP not found");
+      }
+      // Design extras (auxiliary QPs) wire first; the main QP connect is
+      // the commit point the higher rank polls.
+      co_await lazy_join_extra(c);
+      c.qp->connect(*peer_qp);
+      wake_peer(c);
+    }
+  } else {
+    if (!c.qp->connected()) co_return;  // the lower rank wires the pair
+    co_await lazy_join_extra(c);
+  }
+  c.peer_node = &c.qp->peer()->node();
+  qp_index_[c.qp->qp_num()] = &c;
+  c.boot = VerbsConnection::Boot::kReady;
+  c.rec.attempts = 0;
+  lz_unpend(c.peer);
+  lz_activate(c.peer);
+  ++qps_live_;
+  ++connects_on_demand_;
+  lz_touch(c);
+}
+
+sim::Task<void> VerbsChannelBase::lazy_teardown(VerbsConnection& c) {
+  if (c.qp != nullptr) {
+    // close + quiesce: after this, nothing this half ever posted can still
+    // land in peer memory (the same precondition recovery relies on).
+    c.qp->close();
+    co_await c.qp->quiesce();
+    qp_index_.erase(c.qp->qp_num());
+  }
+  co_await lazy_evict_extra(c);
+  if (c.staging_mr != nullptr) {
+    co_await pd_->deregister(c.staging_mr);
+    c.staging_mr = nullptr;
+  }
+  if (c.ctrl_mr != nullptr) {
+    co_await pd_->deregister(c.ctrl_mr);
+    c.ctrl_mr = nullptr;
+  }
+  if (c.ring_pooled) {
+    srq_pool_.release(c.rx);
+    c.ring_pooled = false;
+  } else if (c.ring_mr != nullptr) {
+    co_await pd_->deregister(c.ring_mr);
+  }
+  c.ring_mr = nullptr;
+  c.rx = nullptr;
+  std::vector<std::byte>().swap(c.recv_ring);
+  std::vector<std::byte>().swap(c.staging);
+  // The journal restarts from zero on both sides symmetrically; eviction
+  // only ever fires on a fully-drained, fully-acknowledged connection, so
+  // this loses bookkeeping, not data.
+  c.ctrl = CtrlBlock{};
+  c.send_crc = 0;
+  c.recv_crc = 0;
+  c.verified_head = 0;
+  c.tail_valid = 0;
+  c.integrity_failed = false;
+  lazy_reset_journal(c);
+  c.rec.failed = false;
+  c.rec.attempts = 0;
+  c.rec.integrity = false;
+  c.rec.deadline = 0;
+  c.rec.last_synced = 0;
+  c.rec.last_synced_local = 0;
+  // rec.epoch survives (see VerbsConnection::lz_gen comment).
+  c.lz_local_ready = false;
+  ++c.lz_gen;
+  c.boot = VerbsConnection::Boot::kCold;
+  lz_deactivate(c.peer);
+  --qps_live_;
+}
+
+sim::Task<void> VerbsChannelBase::lazy_maybe_evict() {
+  if (lz_evict_peer_ >= 0) co_return;
+  const bool over_budget =
+      cfg_.qp_budget > 0 &&
+      qps_live_ > static_cast<std::uint64_t>(cfg_.qp_budget);
+  // Shared-pool pressure: a requested-but-cold peer is stalled waiting for
+  // a receive-ring lease.  Evicting an idle lease-holder is the only way
+  // it can ever wire, so pool exhaustion degrades to backpressure (the
+  // stalled side retries on its wakeup) instead of deadlock, even when the
+  // QP budget itself is not exceeded.
+  const bool pool_pressure = srq_pool_.configured() &&
+                             srq_pool_.free_rings() == 0 &&
+                             !lz_pending_.empty();
+  if (!over_budget && !pool_pressure) co_return;
+  // LRU scan over the wired set (bounded by qp_budget + 1 entries, never
+  // the rank dimension).  A connection with outstanding journal state, a
+  // recovery in flight, or a design veto (open rendezvous) is pinned.
+  VerbsConnection* victim = nullptr;
+  for (int p : active_) {
+    if (p == lz_protect_) continue;  // the caller is mid-op on this peer
+    VerbsConnection& c = *conns_[static_cast<std::size_t>(p)];
+    if (c.boot != VerbsConnection::Boot::kReady || c.rec.failed ||
+        c.rec.dead || c.integrity_failed || peer_epoch_pending(c) ||
+        !lazy_evictable(c)) {
+      continue;
+    }
+    if (journal_acked(c) != journal_produced(c)) continue;
+    if (!over_budget && !c.ring_pooled) continue;  // must free a lease
+    if (victim == nullptr || c.lz_last_used < victim->lz_last_used) {
+      victim = &c;
+    }
+  }
+  if (victim == nullptr) co_return;  // soft budget: nothing evictable now
+  VerbsConnection& v = *victim;
+  v.boot = VerbsConnection::Boot::kEvictWait;
+  v.rec.attempts = 0;
+  v.lz_next_attempt = ctx_->sim().now();
+  lz_evict_peer_ = v.peer;
+  lz_post_mail(v, "e:" + std::to_string(rank()) + ":" +
+                      std::to_string(v.lz_gen) + ":" +
+                      std::to_string(journal_consumed(v)));
+}
+
+sim::Task<void> VerbsChannelBase::lz_handle_mail(const std::string& msg) {
+  // "<op>:<from>:<gen>[:<consumed>]"
+  const std::size_t a = msg.find(':');
+  const std::size_t b = msg.find(':', a + 1);
+  const std::size_t d = msg.find(':', b + 1);
+  const char op = msg[0];
+  const int from = std::stoi(msg.substr(a + 1, b - a - 1));
+  const std::uint64_t gen = std::stoull(
+      msg.substr(b + 1, d == std::string::npos ? d : d - b - 1));
+  VerbsConnection& c = *conns_[static_cast<std::size_t>(from)];
+  using Boot = VerbsConnection::Boot;
+  switch (op) {
+    case 'c':
+      // Connect request: the passive side joins the rendezvous.  A stale
+      // generation, or a connection we already consider requested/wired,
+      // needs no action (both sides may initiate simultaneously).
+      if (gen == c.lz_gen && c.boot == Boot::kCold) {
+        c.boot = Boot::kRequested;
+        c.rec.attempts = 0;
+        c.lz_next_attempt = ctx_->sim().now();
+        lz_pending_.push_back(from);
+        co_await lazy_advance(c);
+      }
+      co_return;
+    case 'e': {
+      const std::uint64_t peer_consumed = std::stoull(msg.substr(d + 1));
+      if (gen != c.lz_gen) {
+        lz_post_mail(c, "n:" + std::to_string(rank()) + ":" +
+                            std::to_string(gen));
+        co_return;
+      }
+      if (c.boot == Boot::kEvictWait) {
+        // Mutual eviction: both sides requested; each treats the other's
+        // request as the acknowledgement.
+        co_await lazy_teardown(c);
+        ++qps_evicted_;
+        if (lz_evict_peer_ == from) lz_evict_peer_ = -1;
+        co_return;
+      }
+      // Safe to honour only when this direction is drained too: everything
+      // I produced was consumed (the initiator's claim must match my
+      // produced count -- it diverges if I produced more since), and the
+      // initiator's tail acknowledgements have all landed in my control
+      // block (journal_acked == journal_produced rules out an in-flight
+      // ctrl write hitting memory I am about to deregister).
+      const bool ok =
+          c.boot == Boot::kReady && !c.rec.failed && !c.rec.dead &&
+          !c.integrity_failed && !peer_epoch_pending(c) &&
+          lazy_evictable(c) && peer_consumed == journal_produced(c) &&
+          journal_acked(c) == journal_produced(c);
+      if (!ok) {
+        lz_post_mail(c, "n:" + std::to_string(rank()) + ":" +
+                            std::to_string(gen));
+        co_return;
+      }
+      co_await lazy_teardown(c);
+      ++qps_evicted_;
+      // Acknowledge only after the teardown's quiesce: when the initiator
+      // processes this, nothing of ours can still be in flight toward it.
+      lz_post_mail(c, "a:" + std::to_string(rank()) + ":" +
+                          std::to_string(gen));
+      co_return;
+    }
+    case 'a':
+      if (gen == c.lz_gen && c.boot == Boot::kEvictWait) {
+        co_await lazy_teardown(c);
+        ++qps_evicted_;
+      }
+      if (lz_evict_peer_ == from) lz_evict_peer_ = -1;
+      co_return;
+    case 'n':
+      if (gen == c.lz_gen && c.boot == Boot::kEvictWait) {
+        c.boot = Boot::kReady;
+        lz_touch(c);  // do not immediately re-pick the same victim
+      }
+      if (lz_evict_peer_ == from) lz_evict_peer_ = -1;
+      co_return;
+    default:
+      co_return;
+  }
+}
+
+sim::Task<void> VerbsChannelBase::lazy_service() {
+  if (lz_service_busy_) co_return;
+  lz_service_busy_ = true;
+  std::exception_ptr err;
+  try {
+    const std::vector<std::string>& box = ctx_->kvs->mail(lz_mail_key(rank()));
+    while (lz_mail_cursor_ < box.size()) {
+      const std::string msg = box[lz_mail_cursor_];
+      ++lz_mail_cursor_;
+      co_await lz_handle_mail(msg);
+    }
+    if (!lz_pending_.empty()) {
+      const std::vector<int> pending = lz_pending_;
+      for (int p : pending) {
+        co_await lazy_advance(*conns_[static_cast<std::size_t>(p)]);
+      }
+    }
+    // Under cache pressure, flush deferred consumption acks on every wired
+    // connection.  A deferred ack pins the peer's journal: at scale the
+    // pressure is symmetric (both sides over budget), so flushing here is
+    // what lets peers retire their half of idle connections -- and their
+    // flushes unpin ours.
+    if ((cfg_.qp_budget > 0 &&
+         qps_live_ > static_cast<std::uint64_t>(cfg_.qp_budget)) ||
+        (srq_pool_.configured() && srq_pool_.free_rings() == 0 &&
+         !lz_pending_.empty())) {
+      for (int p : active_) {
+        VerbsConnection& c = *conns_[static_cast<std::size_t>(p)];
+        if (c.boot == VerbsConnection::Boot::kReady) lazy_flush_acks(c);
+      }
+    }
+    co_await lazy_maybe_evict();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  lz_service_busy_ = false;
+  if (err) std::rethrow_exception(err);
+}
+
+namespace {
+/// Pins a peer against eviction for the duration of an ensure_* call.
+struct [[nodiscard]] EvictShield {
+  int& slot;
+  int prev;
+  EvictShield(int& s, int peer) : slot(s), prev(s) { s = peer; }
+  ~EvictShield() { slot = prev; }
+};
+}  // namespace
+
+sim::Task<bool> VerbsChannelBase::ensure_tx(VerbsConnection& c) {
+  if (!cfg_.lazy_connect) co_return true;
+  using Boot = VerbsConnection::Boot;
+  EvictShield shield(lz_protect_, c.peer);
+  co_await lazy_service();
+  if (c.boot == Boot::kReady) {
+    lz_touch(c);
+    co_return true;
+  }
+  if (c.boot == Boot::kEvictWait) {
+    // No new journal entries while the evict handshake is in flight, but
+    // recovery stays serviced (the peer's answer may depend on it) and the
+    // wait is paced/bounded so a silently dead peer cannot park us.
+    co_await maybe_recover(c);
+    co_await lz_pace(c, "evict-wait");
+    co_return false;
+  }
+  if (c.boot == Boot::kCold) {
+    c.boot = Boot::kRequested;
+    c.rec.attempts = 0;
+    c.lz_next_attempt = ctx_->sim().now();
+    lz_pending_.push_back(c.peer);
+    lz_post_mail(c, "c:" + std::to_string(rank()) + ":" +
+                        std::to_string(c.lz_gen));
+    co_await lazy_advance(c);
+    if (c.boot == Boot::kReady) co_return true;  // peer half was waiting
+  }
+  if (c.rec.dead || ctx_->kvs->has(dead_key(c.peer, rank()))) {
+    c.rec.dead = true;
+    throw ChannelError(c.peer, "connection to rank " +
+                                   std::to_string(c.peer) + " is dead");
+  }
+  co_await lz_pace(c, "connect-budget");
+  co_return false;
+}
+
+sim::Task<bool> VerbsChannelBase::ensure_rx(VerbsConnection& c) {
+  if (!cfg_.lazy_connect) co_return true;
+  using Boot = VerbsConnection::Boot;
+  EvictShield shield(lz_protect_, c.peer);
+  co_await lazy_service();
+  if (c.boot == Boot::kReady || c.boot == Boot::kEvictWait) {
+    lz_touch(c);
+    co_return true;
+  }
+  // Passive: never initiate -- but surface a dead sender so a receive from
+  // a killed never-connected rank fails instead of spinning.
+  if (c.rec.dead || ctx_->kvs->has(dead_key(c.peer, rank()))) {
+    c.rec.dead = true;
+    throw ChannelError(c.peer, "connection to rank " +
+                                   std::to_string(c.peer) + " is dead");
+  }
+  co_return false;
+}
+
 sim::Task<void> VerbsChannelBase::copy_in(VerbsConnection& c,
                                           std::uint64_t ring_pos,
                                           std::span<const ConstIov> iovs,
@@ -640,8 +1157,7 @@ sim::Task<void> VerbsChannelBase::copy_out(VerbsConnection& c,
   while (n > 0 && iv < iovs.size()) {
     const std::size_t off = static_cast<std::size_t>(ring_pos % R);
     std::size_t piece = std::min({n, iovs[iv].len - in_iov, R - off});
-    co_await node().copy(iovs[iv].base + in_iov, c.recv_ring.data() + off,
-                         piece, ws);
+    co_await node().copy(iovs[iv].base + in_iov, c.rx + off, piece, ws);
     ring_pos += piece;
     in_iov += piece;
     n -= piece;

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "ib/mr.hpp"
 #include "ib/node.hpp"
 #include "ib/qp.hpp"
+#include "ib/srq.hpp"
 #include "rdmach/channel.hpp"
 
 namespace rdmach {
@@ -131,6 +133,35 @@ class VerbsConnection : public Connection {
   /// Receiver-side CRC mismatch pending: the NACK that arms the next
   /// maybe_recover() to re-handshake and trigger the sender's replay.
   bool integrity_failed = false;
+
+  // ---- lazy connect / connection cache (rank-dimension scaling) -----------
+  /// Bring-up state.  Eager init wires every pair up front, so connections
+  /// are born kReady; under ChannelConfig::lazy_connect they are born kCold
+  /// and walk kCold -> kRequested -> kReady on first use, then kReady ->
+  /// kEvictWait -> kCold when the LRU cache shrinks the wired set back
+  /// under qp_budget.  Every KVS key of the lazy handshake is
+  /// generation-scoped (lz_gen bumps at each teardown) so reconnects are
+  /// fresh write-once exchanges, exactly like the epoch-scoped recovery
+  /// keys.
+  enum class Boot { kCold, kRequested, kReady, kEvictWait };
+  Boot boot = Boot::kReady;
+  /// Connect generation; evictions bump it.  rec.epoch deliberately
+  /// survives teardown -- stale rcv:* keys from a previous life must not
+  /// fake a pending peer re-handshake after a reconnect.
+  std::uint64_t lz_gen = 0;
+  /// My half of the handshake (ring lease, QP, published keys) exists for
+  /// lz_gen.
+  bool lz_local_ready = false;
+  /// Connect / evict-wait retry pacing (rec.attempts is the shared budget).
+  sim::Tick lz_next_attempt = 0;
+  /// LRU stamp from the channel's use clock; 0 = never used.
+  std::uint64_t lz_last_used = 0;
+  /// Receive-ring base: recv_ring.data() for a dedicated ring, or a
+  /// SharedRecvPool lease.  Every receive-path read goes through this.
+  std::byte* rx = nullptr;
+  /// rx is leased from the channel's shared receive pool (no private
+  /// ring_mr; the pool's one registration covers every lease).
+  bool ring_pooled = false;
 };
 
 class VerbsChannelBase : public Channel {
@@ -140,6 +171,15 @@ class VerbsChannelBase : public Channel {
   Connection& connection(int peer) override;
   sim::Task<void> wait_for_activity() override;
   std::uint64_t activity_count() const override;
+
+  /// Under lazy_connect the progress engine iterates wired peers only
+  /// (kReady/kEvictWait), never the full rank dimension.
+  const std::vector<int>* active_peers() const override {
+    return cfg_.lazy_connect ? &active_ : nullptr;
+  }
+  /// Services the lazy-connect mailbox (join requests, evict handshakes)
+  /// once per progress pass; no-op with lazy_connect off.
+  sim::Task<void> pre_progress() override;
 
   ib::ProtectionDomain& pd() const noexcept { return *pd_; }
   ib::CompletionQueue& cq() const noexcept { return *cq_; }
@@ -160,6 +200,17 @@ class VerbsChannelBase : public Channel {
     s.replayed_bytes = replayed_bytes_;
     s.rails.assign(rail_track_.begin(), rail_track_.end());
     s.rail_failovers = rail_failovers_;
+    s.qps_created = qps_created_;
+    s.qps_evicted = qps_evicted_;
+    s.connects_on_demand = connects_on_demand_;
+    s.qps_live = qps_live_;
+    s.srq_pool_high_water = srq_pool_.high_water();
+    std::uint64_t resident = srq_pool_.bytes();
+    for (const auto& c : conns_) {
+      if (!c) continue;
+      resident += c->recv_ring.size() + c->staging.size() + sizeof(CtrlBlock);
+    }
+    s.resident_bytes = resident;
     return s;
   }
 
@@ -175,6 +226,11 @@ class VerbsChannelBase : public Channel {
     replayed_bytes_ = 0;
     rail_failovers_ = 0;
     for (auto& t : rail_track_) t = ChannelStats::RailStats{};
+    qps_created_ = 0;
+    qps_evicted_ = 0;
+    connects_on_demand_ = 0;
+    // qps_live_ / srq high water are state gauges, not counters: they keep
+    // describing what is resident right now.
   }
 
  protected:
@@ -258,6 +314,7 @@ class VerbsChannelBase : public Channel {
   /// Creates a QP bound to `rail`'s port, completing into that rail's CQ.
   ib::QueuePair& create_rail_qp(int rail) {
     ib::Port& port = node().rail(rail);
+    ++qps_created_;
     return port.hca().create_qp(pd(), rail_cq(rail), rail_cq(rail), port);
   }
   /// Accounts `bytes` of data-plane traffic scheduled onto `rail`.
@@ -301,6 +358,59 @@ class VerbsChannelBase : public Channel {
   /// otherwise runs the recovery loop until the connection is clean.  Free
   /// of posts and virtual time on the fault-free path.
   sim::Task<void> maybe_recover(VerbsConnection& c);
+
+  // ---- lazy connect / connection cache ------------------------------------
+  /// put()-side gate: under lazy_connect, services the handshake mailbox
+  /// and drives `c` toward kReady, initiating the on-demand connect on
+  /// first use.  Returns false when the connection is not usable yet (the
+  /// caller accepts zero bytes this pass; a future wakeup is always
+  /// pending, so a parked sender cannot deadlock).  Immediate true with
+  /// lazy_connect off -- the eager path never reaches any of this.
+  sim::Task<bool> ensure_tx(VerbsConnection& c);
+  /// get()-side gate: like ensure_tx but passive -- a receiver never
+  /// initiates a connection, it only answers the sender's request (the
+  /// connect-request rendezvous of the lazy bootstrap).
+  sim::Task<bool> ensure_rx(VerbsConnection& c);
+  /// Cheap receive-path guard for lookahead/attach entry points: whether
+  /// `c` currently has ring state worth reading.  Always true when eager.
+  bool lazy_wired(const VerbsConnection& c) const {
+    return !cfg_.lazy_connect ||
+           c.boot == VerbsConnection::Boot::kReady ||
+           c.boot == VerbsConnection::Boot::kEvictWait;
+  }
+
+  /// Highest unit of my outgoing stream the peer has acknowledged
+  /// consuming; eviction requires journal_acked == journal_produced on both
+  /// sides (an outstanding journal pins the connection).  Designs with
+  /// piggybacked acknowledgements override.
+  virtual std::uint64_t journal_acked(VerbsConnection& c) {
+    return checked_tail(c);
+  }
+  /// Design veto on tearing down `c` (in-flight rendezvous, pending
+  /// zero-copy acknowledgements, open CTS rounds...).
+  virtual bool lazy_evictable(const VerbsConnection&) const { return true; }
+  /// Zeroes design-specific journal counters at lazy teardown; the ctrl
+  /// block itself is reset by the base.  Only fully-drained connections are
+  /// ever torn down, so this is bookkeeping, not data loss.
+  virtual void lazy_reset_journal(VerbsConnection&) {}
+  /// Pushes out deferred consumption acknowledgements (piggybacked tail
+  /// updates waiting for reverse traffic that may never come).  Called on
+  /// wired connections while this rank is under cache pressure: an unsent
+  /// ack pins the PEER's journal, so flushing is what lets the peer evict
+  /// its half.  Default no-op (designs that ack on every get need none).
+  virtual void lazy_flush_acks(VerbsConnection&) {}
+  /// Design hooks around the lazy handshake: per-connection extras
+  /// (auxiliary QPs, flag arrays) created with the local half, joined with
+  /// the peer half, and dropped at teardown.  Defaults are no-ops.
+  virtual sim::Task<void> lazy_setup_extra(VerbsConnection& c);
+  virtual sim::Task<void> lazy_join_extra(VerbsConnection& c);
+  virtual sim::Task<void> lazy_evict_extra(VerbsConnection& c);
+
+  /// Generation-scoped KVS key of the lazy handshake; design hooks publish
+  /// their extras under it so re-publishes after an eviction stay
+  /// write-once.
+  static std::string lazy_key(int from, int to, std::uint64_t gen,
+                              const char* what);
 
   /// Charges the per-call software overhead, flushing any modelled CRC
   /// cost accumulated since the last coroutine point first.
@@ -386,6 +496,35 @@ class VerbsChannelBase : public Channel {
   /// handshake -- the signal for a rank that saw no local error to join.
   bool peer_epoch_pending(VerbsConnection& c) const;
 
+  // ---- lazy connect internals ---------------------------------------------
+  /// One pass of the lazy control plane: drains the handshake mailbox,
+  /// drives pending joins, then enforces qp_budget.  Reentrancy-guarded --
+  /// every put/get/progress pass calls it.
+  sim::Task<void> lazy_service();
+  sim::Task<void> lz_handle_mail(const std::string& msg);
+  /// Drives one kRequested connection: sets up the local half if needed,
+  /// then joins the peer half once its qpn sentinel is published.
+  sim::Task<void> lazy_advance(VerbsConnection& c);
+  /// Allocates my half (ring lease or dedicated ring, staging, ctrl, QP)
+  /// and publishes the generation-scoped keys, qpn last.  False = shared
+  /// receive pool exhausted (counted as a credit stall; caller retries).
+  sim::Task<bool> lazy_setup_local(VerbsConnection& c);
+  /// Tears down a drained connection back to kCold and bumps lz_gen.
+  sim::Task<void> lazy_teardown(VerbsConnection& c);
+  /// Starts one LRU eviction handshake when the wired set exceeds
+  /// qp_budget and a fully-drained victim exists.
+  sim::Task<void> lazy_maybe_evict();
+  /// Connect / evict-wait retry pacing against the shared attempt budget;
+  /// throws ChannelError::kDead when it runs out (publishing the dead
+  /// marker first, like recovery budget exhaustion).
+  sim::Task<void> lz_pace(VerbsConnection& c, const char* stage);
+  /// Appends a control message to the peer's mailbox and wakes it.
+  void lz_post_mail(VerbsConnection& c, std::string msg);
+  void lz_touch(VerbsConnection& c) { c.lz_last_used = ++lz_clock_; }
+  void lz_activate(int peer);
+  void lz_deactivate(int peer);
+  void lz_unpend(int peer);
+
   ib::ProtectionDomain* pd_ = nullptr;
   ib::CompletionQueue* cq_ = nullptr;
   /// One CQ per rail; cqs_[0] == cq_ (the legacy name "rankN.cq", so
@@ -396,10 +535,38 @@ class VerbsChannelBase : public Channel {
   std::vector<ChannelStats::RailStats> rail_track_;
   std::uint64_t rail_failovers_ = 0;
   std::unordered_map<std::uint64_t, ib::Wc> completed_;
+  /// drain_cq scratch for batched CQ polling (reused across passes so the
+  /// hot path never allocates).
+  std::vector<ib::Wc> wc_scratch_;
   std::uint64_t wr_seq_ = 0;
   std::uint64_t recoveries_ = 0;
   /// Modelled CRC cost not yet charged to the memory bus.
   std::size_t pending_crc_bytes_ = 0;
+
+  // ---- lazy connect / connection cache state ------------------------------
+  ib::SharedRecvPool srq_pool_;
+  ib::MemoryRegion* srq_mr_ = nullptr;
+  /// Wired peers (kReady/kEvictWait), ascending -- the progress engine's
+  /// iteration set and the eviction scan's domain (bounded by qp_budget+1).
+  std::vector<int> active_;
+  /// Peers mid-handshake (kRequested); each service pass re-drives them.
+  std::vector<int> lz_pending_;
+  std::size_t lz_mail_cursor_ = 0;
+  bool lz_service_busy_ = false;
+  /// Peer of the one in-flight eviction handshake, or -1.
+  int lz_evict_peer_ = -1;
+  /// Peer the in-flight ensure_tx/ensure_rx is for, or -1: never picked as
+  /// an eviction victim.  Without this, a rank whose other connections are
+  /// all pinned (e.g. tail acks waiting on reverse traffic) would evict the
+  /// one clean connection -- the one the current operation needs -- and
+  /// livelock on evict/reconnect.
+  int lz_protect_ = -1;
+  std::uint64_t lz_clock_ = 0;
+  std::uint64_t qps_created_ = 0;
+  std::uint64_t qps_evicted_ = 0;
+  std::uint64_t connects_on_demand_ = 0;
+  /// Resident connections (wired QP sets), the qp_budget gauge.
+  std::uint64_t qps_live_ = 0;
 };
 
 }  // namespace rdmach

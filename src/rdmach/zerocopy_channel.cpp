@@ -56,6 +56,8 @@ sim::Task<std::size_t> ZeroCopyChannel::put(Connection& conn,
                                             std::span<const ConstIov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await node().compute(kZcStateOverhead);
+  const bool wired = co_await ensure_tx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
 
   // Sender-side rendezvous progress: learn of acks even when the caller is
@@ -186,6 +188,8 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
                                             std::span<const Iov> iovs) {
   auto& c = static_cast<SlotConnection&>(conn);
   co_await call_overhead();
+  const bool wired = co_await ensure_rx(c);
+  if (!wired) co_return 0;
   co_await maybe_recover(c);
 
   const std::size_t want = total_length(iovs);
@@ -254,8 +258,8 @@ sim::Task<std::size_t> ZeroCopyChannel::get(Connection& conn,
         const std::size_t n =
             std::min(want - delivered, hdr->payload_len - c.cur_slot_off);
         const std::byte* payload = slot_payload(c);
-        const std::size_t ring_pos = static_cast<std::size_t>(
-            payload - c.recv_ring.data() + c.cur_slot_off);
+        const std::size_t ring_pos =
+            static_cast<std::size_t>(payload - c.rx + c.cur_slot_off);
         co_await copy_out(c, ring_pos, iovs, delivered, n, want);
         c.cur_slot_off += n;
         delivered += n;

@@ -57,6 +57,15 @@ class ZeroCopyChannel : public PipelineChannel {
   sim::Task<void> replay(VerbsConnection& c,
                          std::uint64_t peer_consumed) override;
 
+  /// Rendezvous state (pinned source buffer, in-flight RDMA read, deferred
+  /// ack) lives outside the slot journal, so a connection mid-rendezvous
+  /// must not be torn down.
+  bool lazy_evictable(const VerbsConnection& conn) const override {
+    const auto& c = static_cast<const SlotConnection&>(conn);
+    return !c.rndv_active && !c.r_rndv_active && !c.ack_pending &&
+           !c.r_read_inflight;
+  }
+
  private:
   /// Consumes leading ack slots (sender-side progress made from put).
   void harvest_acks(SlotConnection& c);

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -103,6 +104,21 @@ class Simulator {
   std::size_t events_processed() const noexcept { return events_processed_; }
   std::size_t live_root_processes() const noexcept;
 
+  /// Shared staging-buffer pool for the DES hot path (HCA engines).
+  BufferPool& buffer_pool() noexcept { return pool_; }
+
+  /// Hot-path micro-counters for the perf-smoke guards: dispatched events
+  /// plus buffer-pool hit/miss totals (a pooling regression shows up as
+  /// misses growing with the op count instead of plateauing).
+  struct Stats {
+    std::uint64_t events_dispatched = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
+  };
+  Stats stats() const noexcept {
+    return Stats{events_processed_, pool_.hits(), pool_.misses()};
+  }
+
  private:
   struct ProcessState {
     Simulator* sim = nullptr;
@@ -128,6 +144,11 @@ class Simulator {
     }
   };
 
+  // Declared before queue_: queued delivery events may hold pooled buffers,
+  // whose deleters must still find a live free-list state at teardown (the
+  // state itself is shared_ptr-owned, so even this ordering is belt and
+  // braces).
+  BufferPool pool_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<std::unique_ptr<ProcessState>> processes_;
   Tick now_ = 0;
