@@ -90,7 +90,7 @@ inline CampaignOutcome run_nas_campaign(
       if (ctx.rank == 0) out.result = r;
     } catch (const rdmach::ChannelError& e) {
       failed = true;
-      what = e.what();
+      what = e.to_string();  // kind + peer + recovery snapshot, not just the message
     } catch (const ch3::VcError& e) {
       failed = true;
       what = e.what();

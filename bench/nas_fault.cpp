@@ -30,6 +30,105 @@ struct RunSpec {
 constexpr double kMaxCombinedLossPct = 25.0;
 constexpr std::uint64_t kSeed = 2026;
 
+/// Thrown from the phase hook inside the victim's CG iteration loop: the
+/// test's model of process death (the rank-main stops executing; the fault
+/// schedule then takes its network down).
+struct RankKilled {};
+
+struct ShrinkOutcome {
+  bool ok = false;
+  double detect_us = 0;   // death -> first survivor ProcFailedError
+  double recover_us = 0;  // death -> shrunk communicator in hand
+  double mops = 0;        // the 3-rank re-run
+  std::string detail;
+};
+
+double to_us(sim::Tick t) {
+  return static_cast<double>(t) / static_cast<double>(sim::usec(1));
+}
+
+/// Shrink-and-continue: CG class A on 4 ranks with the failure detector
+/// armed; rank 3 dies at iteration 5.  The survivors must each surface
+/// ProcFailedError (or RevokedError once a peer revokes), run the ULFM
+/// revoke/agree/shrink sequence, and finish a full CG class A on the
+/// 3-rank survivor communicator with a numerically verified result.
+ShrinkOutcome run_shrink_and_continue(const mpi::RuntimeConfig& base,
+                                      const ib::FabricConfig& fcfg) {
+  constexpr int kProcs = 4;
+  constexpr int kVictim = 3;
+  constexpr int kKillIter = 5;
+  ShrinkOutcome out;
+  mpi::RuntimeConfig cfg = base;
+  cfg.stack.channel.ft_detector = true;
+  sim::Simulator sim;
+  ib::Fabric fabric(sim, fcfg);
+  sim::FaultSchedule faults;
+  fabric.attach_faults(&faults);
+  pmi::Job job(fabric, kProcs);
+
+  sim::Tick death_at = 0, first_error_at = 0, shrunk_at = 0;
+  int continued = 0;
+  bool verified = false;
+  nas::ScopedPhaseHook hook([&](const nas::PhaseEvent& e) {
+    if (e.rank == kVictim && e.phase == "cg.iter" &&
+        e.iteration == kKillIter) {
+      throw RankKilled{};
+    }
+  });
+
+  // Runtimes owned outside the rank bodies: nobody finalizes after a death,
+  // so per-rank teardown must wait for the full drain.
+  std::vector<std::unique_ptr<mpi::Runtime>> rts(kProcs);
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    rts[ctx.rank] = std::make_unique<mpi::Runtime>(ctx, cfg);
+    mpi::Runtime& rt = *rts[ctx.rank];
+    co_await rt.init();
+    bool died = false, failed = false;
+    try {
+      co_await nas::kernel("cg")(rt.world(), ctx, nas::Class::A);
+    } catch (const RankKilled&) {
+      died = true;
+    } catch (const mpi::MpiError&) {
+      // ProcFailedError from the detector, or RevokedError once a faster
+      // survivor has already revoked -- either way, recover.
+      failed = true;
+    }
+    if (died) {
+      death_at = sim.now();
+      faults.rank_down("node" + std::to_string(kVictim));
+      co_return;  // process gone; no finalize
+    }
+    if (!failed) co_return;  // fault-free run (never happens here)
+    if (first_error_at == 0) first_error_at = sim.now();
+    rt.world().revoke();
+    co_await rt.world().agree(0);
+    mpi::Communicator* sc = co_await rt.world().shrink();
+    if (sc == nullptr || sc->size() != kProcs - 1) co_return;
+    if (shrunk_at == 0) shrunk_at = sim.now();
+    nas::Result r = co_await nas::kernel("cg")(*sc, ctx, nas::Class::A);
+    if (sc->rank() == 0) {
+      verified = r.verified;
+      out.mops = r.mops;
+      out.detail = r.detail;
+    }
+    ++continued;
+  });
+  sim.run_until(sim::usec(120'000'000));
+
+  out.ok = continued == kProcs - 1 && verified && death_at > 0 &&
+           first_error_at > death_at && shrunk_at > first_error_at;
+  out.detect_us = to_us(first_error_at - death_at);
+  out.recover_us = to_us(shrunk_at - death_at);
+  if (!out.ok && out.detail.empty()) {
+    out.detail = "continued=" + std::to_string(continued) +
+                 " verified=" + std::to_string(verified) +
+                 " death_at=" + std::to_string(death_at) +
+                 " first_error_at=" + std::to_string(first_error_at) +
+                 " shrunk_at=" + std::to_string(shrunk_at);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +223,22 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+  }
+
+  benchutil::title(
+      "Shrink-and-continue: CG class A, rank 3 dies at iteration 5");
+  const ShrinkOutcome shrink = run_shrink_and_continue(cfg, fabric);
+  if (shrink.ok) {
+    std::printf(
+        "cg   shrink-continue  %8.1f   detect %.0f us, shrink %.0f us, "
+        "verified on 3 ranks\n",
+        shrink.mops, shrink.detect_us, shrink.recover_us);
+    json.add("cg/shrink", 3, shrink.mops, "mops");
+    json.add("cg/shrink/detect", 4, shrink.detect_us, "us");
+    json.add("cg/shrink/recover", 4, shrink.recover_us, "us");
+  } else {
+    std::printf("cg   shrink-continue  FAILED: %s\n", shrink.detail.c_str());
+    ok = false;
   }
 
   json.write("BENCH_nasfault.json");

@@ -6,8 +6,14 @@ namespace ch3 {
 
 void StreamMux::enqueue(int dst, const PktHeader& hdr, const void* payload,
                         std::size_t len, std::function<void()> on_streamed) {
+  if (ch_->config().ft_detector && ch_->ctx().kvs->is_dead(dst)) {
+    // Corpse: drop the frame (keeping no reference to the payload).  The
+    // send request never completes; the MPI engine's fault sweep fails it.
+    return;
+  }
   OutMsg m;
   m.hdr = hdr;
+  stamp_obit(m.hdr);
   m.payload = static_cast<const std::byte*>(payload);
   m.len = len;
   m.on_streamed = std::move(on_streamed);
@@ -32,6 +38,42 @@ std::size_t expect_len(const PktHeader& hdr) {
 }
 }  // namespace
 
+void StreamMux::stamp_obit(PktHeader& hdr) {
+  if (!ch_->config().ft_detector) return;
+  const std::vector<int>& obits = ch_->ctx().kvs->obits();
+  if (obits.empty()) return;
+  // Rotate through the board so several deaths all ride out on traffic.
+  hdr.reserved =
+      static_cast<std::uint64_t>(obits[obit_cursor_++ % obits.size()]) + 1;
+}
+
+bool StreamMux::fence_dead(int peer, Vc& vc) {
+  if (!ch_->config().ft_detector || !ch_->ctx().kvs->is_dead(peer)) {
+    return false;
+  }
+  // Obituaried peer: drop all framing state so no progress pass ever again
+  // touches the VC (or dereferences payload pointers whose owners have
+  // unwound).  Un-streamed sends stay incomplete on purpose -- the engine's
+  // fault sweep converts them into process-failure errors.
+  vc.sendq.clear();
+  vc.await_release.clear();
+  vc.ahead.clear();
+  vc.hdr_got = 0;
+  vc.in_payload = false;
+  const auto it = std::lower_bound(work_.begin(), work_.end(), peer);
+  if (it != work_.end() && *it == peer) work_.erase(it);
+  return true;
+}
+
+void StreamMux::note_obit(const PktHeader& hdr) {
+  if (hdr.reserved == 0 || !ch_->config().ft_detector) return;
+  pmi::Context& ctx = ch_->ctx();
+  if (!ctx.kvs->post_obit(static_cast<int>(hdr.reserved) - 1)) return;
+  // First local sighting of this obituary: wake every rank's progress loop
+  // so blocked operations against the corpse re-check the board now.
+  pmi::wake_all_ranks(ctx);
+}
+
 sim::Task<bool> StreamMux::progress_send(int peer, Vc& vc) {
   bool moved = false;
   rdmach::Connection& conn = ch_->connection(peer);
@@ -55,7 +97,7 @@ sim::Task<bool> StreamMux::progress_send(int peer, Vc& vc) {
           conn, std::span<const rdmach::ConstIov>(iovs, n_iovs));
     } catch (const rdmach::ChannelError& e) {
       throw VcError(peer, "vc to rank " + std::to_string(peer) +
-                              " failed: " + e.what());
+                              " failed: " + e.to_string());
     }
     m.sent += k;
     moved |= k > 0;
@@ -122,12 +164,13 @@ sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
                               sizeof(PktHeader) - vc.hdr_got);
       } catch (const rdmach::ChannelError& e) {
         throw VcError(peer, "vc to rank " + std::to_string(peer) +
-                                " failed: " + e.what());
+                                " failed: " + e.to_string());
       }
       vc.hdr_got += k;
       moved |= k > 0;
       if (vc.hdr_got < sizeof(PktHeader)) break;
       std::memcpy(&vc.rhdr, vc.hdr_buf, sizeof(PktHeader));
+      note_obit(vc.rhdr);
       vc.sink = handler_->on_packet(peer, vc.rhdr);
       vc.payload_got = 0;
       if (expect_len(vc.rhdr) == 0) {
@@ -146,7 +189,7 @@ sim::Task<bool> StreamMux::progress_recv(int peer, Vc& vc) {
       k = co_await ch_->get(conn, vc.sink.dst + vc.payload_got, want);
     } catch (const rdmach::ChannelError& e) {
       throw VcError(peer, "vc to rank " + std::to_string(peer) +
-                              " failed: " + e.what());
+                              " failed: " + e.to_string());
     }
     vc.payload_got += k;
     moved |= k > 0;
@@ -190,12 +233,13 @@ sim::Task<bool> StreamMux::progress_lookahead(int peer, Vc& vc) {
                                     std::span<const rdmach::Iov>(&hiov, 1));
       } catch (const rdmach::ChannelError& e) {
         throw VcError(peer, "vc to rank " + std::to_string(peer) +
-                                " failed: " + e.what());
+                                " failed: " + e.to_string());
       }
       f.hdr_got += k;
       moved |= k > 0;
       if (f.hdr_got < sizeof(PktHeader)) break;
       std::memcpy(&f.hdr, f.hdr_buf, sizeof(PktHeader));
+      note_obit(f.hdr);
       f.have_hdr = true;
       f.sink = handler_->on_packet(peer, f.hdr);
       moved = true;
@@ -210,7 +254,7 @@ sim::Task<bool> StreamMux::progress_lookahead(int peer, Vc& vc) {
             conn, std::span<const rdmach::Iov>(&siov, 1));
       } catch (const rdmach::ChannelError& e) {
         throw VcError(peer, "vc to rank " + std::to_string(peer) +
-                                " failed: " + e.what());
+                                " failed: " + e.to_string());
       }
       if (attached) {
         f.attached = true;
@@ -225,7 +269,7 @@ sim::Task<bool> StreamMux::progress_lookahead(int peer, Vc& vc) {
                                   std::span<const rdmach::Iov>(&piov, 1));
     } catch (const rdmach::ChannelError& e) {
       throw VcError(peer, "vc to rank " + std::to_string(peer) +
-                              " failed: " + e.what());
+                              " failed: " + e.to_string());
     }
     f.got += k;
     moved |= k > 0;
@@ -243,6 +287,7 @@ sim::Task<bool> StreamMux::progress() {
     for (int p = 0; p < ch_->size(); ++p) {
       if (p == ch_->rank()) continue;
       Vc& vc = vcs_[static_cast<std::size_t>(p)];
+      if (fence_dead(p, vc)) continue;
       moved |= co_await progress_send(p, vc);
       moved |= co_await progress_recv(p, vc);
     }
@@ -260,6 +305,7 @@ sim::Task<bool> StreamMux::progress() {
   for (const int p : scratch_) {
     if (p == ch_->rank()) continue;
     Vc& vc = vcs_[static_cast<std::size_t>(p)];
+    if (fence_dead(p, vc)) continue;
     moved |= co_await progress_send(p, vc);
     moved |= co_await progress_recv(p, vc);
     if (vc.sendq.empty() && vc.await_release.empty()) {

@@ -96,6 +96,18 @@ class StreamMux {
     std::deque<AheadFrame> ahead;  // frames beyond the current payload
   };
 
+  /// Failure-detector piggyback (channel config ft_detector): outgoing
+  /// frames carry one obituaried rank (+1; 0 = none) in the header's
+  /// reserved word, and every parsed header feeds the local board -- a
+  /// death known anywhere spreads along all existing traffic without
+  /// extra packets.  With the detector off both are no-ops and the wire
+  /// bytes stay bit-identical (reserved stays 0).
+  void stamp_obit(PktHeader& hdr);
+  void note_obit(const PktHeader& hdr);
+  /// True (and all VC state dropped) when `peer` has a published obituary:
+  /// the VC is fenced off and progress passes skip it entirely.
+  bool fence_dead(int peer, Vc& vc);
+
   sim::Task<bool> progress_send(int peer, Vc& vc);
   sim::Task<bool> progress_recv(int peer, Vc& vc);
   /// Reads frames behind an in-flight rendezvous payload (see AheadFrame).
@@ -115,6 +127,8 @@ class StreamMux {
   /// idle.  Unused (empty) when the channel reports no active set.
   std::vector<int> work_;
   std::vector<int> scratch_;  // per-pass snapshot of the union
+  /// Round-robin index into the obituary board for stamp_obit.
+  std::size_t obit_cursor_ = 0;
 };
 
 }  // namespace ch3

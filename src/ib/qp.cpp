@@ -282,6 +282,26 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
     co_return;
   }
 
+  // Permanent process death (FaultSchedule::rank_down): a WQE initiated by
+  // a dead node, or towards one, exhausts the RC retry storm and surfaces a
+  // transport error -- the remote endpoint no longer acks anything.  The QP
+  // enters the error state so queued WQEs flush; nothing against a dead
+  // node ever succeeds again.
+  if (sim::FaultSchedule* faults = fabric.faults();
+      faults != nullptr && faults->any_rank_down() &&
+      (faults->node_dead(node().name()) ||
+       (peer_ != nullptr && faults->node_dead(peer_->node().name())))) {
+    fabric.tracer().record(sim.now(), tag, "fault_kill",
+                           static_cast<std::int64_t>(n), wr.wr_id);
+    co_await sim.delay(cfg.retry_count * cfg.retry_delay);
+    enter_error();
+    complete(*send_cq_,
+             Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0, qp_num_,
+                false},
+             sim.now() + 2 * cfg.wire_latency);
+    co_return;
+  }
+
   bool corrupt_payload = false;
   if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
     if (auto f = faults->check(node().name())) {

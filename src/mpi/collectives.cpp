@@ -19,6 +19,7 @@ bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
 }  // namespace
 
 sim::Task<void> Communicator::barrier() {
+  ft_check();
   const int p = size();
   if (p == 1) co_return;
   const int tag = next_coll_tag();
@@ -34,6 +35,7 @@ sim::Task<void> Communicator::barrier() {
 
 sim::Task<void> Communicator::bcast(void* buf, int count, Datatype d,
                                     int root) {
+  ft_check();
   const int p = size();
   if (p == 1) co_return;
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
@@ -65,6 +67,7 @@ sim::Task<void> Communicator::bcast(void* buf, int count, Datatype d,
 
 sim::Task<void> Communicator::reduce(const void* sendbuf, void* recvbuf,
                                      int count, Datatype d, Op op, int root) {
+  ft_check();
   const int p = size();
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
   // Accumulator starts as a copy of the local contribution.
@@ -97,6 +100,7 @@ sim::Task<void> Communicator::reduce(const void* sendbuf, void* recvbuf,
 
 sim::Task<void> Communicator::allreduce(const void* sendbuf, void* recvbuf,
                                         int count, Datatype d, Op op) {
+  ft_check();
   const int p = size();
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
   std::memcpy(recvbuf, sendbuf, bytes);
@@ -119,6 +123,7 @@ sim::Task<void> Communicator::allreduce(const void* sendbuf, void* recvbuf,
 
 sim::Task<void> Communicator::gather(const void* sendbuf, int scount,
                                      void* recvbuf, Datatype d, int root) {
+  ft_check();
   const int p = size();
   const std::size_t bytes =
       static_cast<std::size_t>(scount) * datatype_size(d);
@@ -148,6 +153,7 @@ sim::Task<void> Communicator::gatherv(const void* sendbuf, int scount,
                                       std::span<const int> rcounts,
                                       std::span<const int> displs, Datatype d,
                                       int root) {
+  ft_check();
   const int p = size();
   const std::size_t el = datatype_size(d);
   const int tag = next_coll_tag();
@@ -176,6 +182,7 @@ sim::Task<void> Communicator::gatherv(const void* sendbuf, int scount,
 
 sim::Task<void> Communicator::scatter(const void* sendbuf, int count,
                                       void* recvbuf, Datatype d, int root) {
+  ft_check();
   const int p = size();
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
   const int tag = next_coll_tag();
@@ -203,6 +210,7 @@ sim::Task<void> Communicator::scatterv(const void* sendbuf,
                                        std::span<const int> displs,
                                        void* recvbuf, int rcount, Datatype d,
                                        int root) {
+  ft_check();
   const int p = size();
   const std::size_t el = datatype_size(d);
   const int tag = next_coll_tag();
@@ -231,6 +239,7 @@ sim::Task<void> Communicator::scatterv(const void* sendbuf,
 
 sim::Task<void> Communicator::allgather(const void* sendbuf, int scount,
                                         void* recvbuf, Datatype d) {
+  ft_check();
   const int p = size();
   const std::size_t bytes =
       static_cast<std::size_t>(scount) * datatype_size(d);
@@ -257,6 +266,7 @@ sim::Task<void> Communicator::allgatherv(const void* sendbuf, int scount,
                                          std::span<const int> rcounts,
                                          std::span<const int> displs,
                                          Datatype d) {
+  ft_check();
   const int p = size();
   const std::size_t el = datatype_size(d);
   auto* out = static_cast<std::byte*>(recvbuf);
@@ -282,6 +292,7 @@ sim::Task<void> Communicator::allgatherv(const void* sendbuf, int scount,
 
 sim::Task<void> Communicator::alltoall(const void* sendbuf, int scount,
                                        void* recvbuf, Datatype d) {
+  ft_check();
   const int p = size();
   const std::size_t bytes =
       static_cast<std::size_t>(scount) * datatype_size(d);
@@ -306,6 +317,7 @@ sim::Task<void> Communicator::alltoallv(
     const void* sendbuf, std::span<const int> scounts,
     std::span<const int> sdispls, void* recvbuf,
     std::span<const int> rcounts, std::span<const int> rdispls, Datatype d) {
+  ft_check();
   const int p = size();
   const std::size_t el = datatype_size(d);
   const auto* in = static_cast<const std::byte*>(sendbuf);
@@ -336,6 +348,7 @@ sim::Task<void> Communicator::reduce_scatter(const void* sendbuf,
                                              void* recvbuf,
                                              std::span<const int> counts,
                                              Datatype d, Op op) {
+  ft_check();
   const int p = size();
   int total = 0;
   std::vector<int> displs(static_cast<std::size_t>(p));
@@ -352,6 +365,7 @@ sim::Task<void> Communicator::reduce_scatter(const void* sendbuf,
 
 sim::Task<void> Communicator::scan(const void* sendbuf, void* recvbuf,
                                    int count, Datatype d, Op op) {
+  ft_check();
   const int p = size();
   const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(d);
   std::memcpy(recvbuf, sendbuf, bytes);

@@ -7,6 +7,7 @@ namespace mpi {
 sim::Task<Request> Communicator::isend_bytes(const void* buf,
                                              std::size_t bytes, int dst,
                                              int tag, std::uint64_t ctx) {
+  ft_check_peer(dst);
   const int dst_world = dst == kProcNull ? kProcNull : world_rank(dst);
   co_return co_await eng_->isend(buf, bytes, dst_world, my_rank_, tag, ctx);
 }
@@ -14,6 +15,7 @@ sim::Task<Request> Communicator::isend_bytes(const void* buf,
 sim::Task<Request> Communicator::irecv_bytes(void* buf, std::size_t bytes,
                                              int src, int tag,
                                              std::uint64_t ctx) {
+  ft_check_peer(src);
   co_return co_await eng_->irecv(buf, bytes, src, tag, ctx);
 }
 

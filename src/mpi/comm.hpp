@@ -28,6 +28,8 @@ class Communicator {
   std::uint64_t context() const noexcept { return context_; }
   /// World rank of a communicator rank.
   int world_rank(int r) const { return group_.at(static_cast<std::size_t>(r)); }
+  /// The comm-rank -> world-rank map.
+  const std::vector<int>& group() const noexcept { return group_; }
 
   double wtime() const { return eng_->wtime(); }
 
@@ -102,6 +104,48 @@ class Communicator {
   /// the Runtime).  Pass color < 0 for MPI_UNDEFINED (returns nullptr).
   sim::Task<Communicator*> split(int color, int key);
 
+  // ---- ULFM-style fault tolerance (channel config ft_detector on) ---------
+  // The recovery sequence after a ProcFailedError is the ULFM idiom:
+  //   comm.revoke();                    // every member now errors out
+  //   int ok = co_await comm.agree(0);  // consistent view of the damage
+  //   Communicator* next = co_await comm.shrink();  // survivors continue
+  // All three run over the PMI control plane (no message-plane traffic), so
+  // they terminate even when further members die mid-protocol.
+
+  /// MPI_Comm_revoke: marks the communicator revoked for every member.
+  /// Pending and future point-to-point and collective operations on it fail
+  /// with RevokedError on all members -- no rank stays blocked inside a
+  /// collective whose peers have moved on to recovery.  Not itself
+  /// collective: any single member may revoke.
+  void revoke();
+  /// True once any member has revoked this communicator.
+  bool revoked() const;
+
+  /// MPI_Comm_agree: fault-tolerant agreement.  Returns the bitwise AND of
+  /// the `flag` contributions of the members that could participate;
+  /// members discovered dead (obituary, or silence past the agreement
+  /// deadline -- in which case this call convicts them) are excluded and
+  /// the result carries the kAgreeFlagDead bit so every survivor learns a
+  /// failure happened.  Terminates regardless of which members die at which
+  /// protocol step: a dead decision leader is detected by deadline and the
+  /// next live member takes over; the first posted decision wins and is
+  /// adopted by everyone, so all survivors return the same value.  Never
+  /// throws on process failure (it is the recovery primitive).
+  sim::Task<int> agree(int flag);
+  /// Set in agree()'s result when any member was excluded as dead.
+  static constexpr int kAgreeFlagDead = 1 << 30;
+
+  /// MPI_Comm_shrink: collective over the survivors; returns a new
+  /// communicator (owned by the Runtime) containing the live members,
+  /// re-ranked densely in their old relative order, on a fresh context.
+  /// The decision (context id + survivor list) is agreed through the same
+  /// leader protocol as agree(), so every survivor adopts the identical
+  /// group even if more members die mid-shrink.
+  sim::Task<Communicator*> shrink();
+
+  /// Comm ranks with a published obituary, in comm-rank order.
+  std::vector<int> failed_ranks() const;
+
  private:
   friend class Runtime;
   Communicator(Runtime& rt, Engine& eng, std::vector<int> group, int my_rank,
@@ -121,6 +165,26 @@ class Communicator {
                                  void* rbuf, std::size_t rbytes, int src,
                                  int tag, std::uint64_t ctx);
   std::uint64_t coll_context() const noexcept { return context_ + 1; }
+  /// Fault-tolerance entry checks (no-ops with the detector unarmed; pure
+  /// KVS lookups otherwise, so fault-free traces stay bit-identical).
+  /// ft_check: collective semantics -- error if the communicator is revoked
+  /// or *any* member has a published obituary (uniform error on every
+  /// member).  ft_check_peer: point-to-point semantics -- error only for a
+  /// revoked communicator or a dead counterpart.
+  bool ft_on() const noexcept { return eng_->ft_armed(); }
+  void ft_check() const;
+  void ft_check_peer(int r) const;
+  /// Leader-based one-shot agreement on the PMI board: waits for
+  /// `base` + ":d" to be decided, taking over as leader (and convicting
+  /// silent leaders by deadline) as needed.  `kind` selects the decision
+  /// computation a leader runs over the settled contribution board.  Plain
+  /// values rather than a callback: a capturing std::function crossing the
+  /// coroutine's suspension points miscompiles under gcc 12 (the captured
+  /// strings are destroyed out of the coroutine frame).
+  enum class FtDecision { kAgree, kShrink };
+  sim::Task<std::string> ft_decide(std::string base, FtDecision kind);
+  std::string decide_agree(const std::string& base) const;
+  std::string decide_shrink(const std::string& base) const;
   /// Fresh tag for one collective invocation (advances identically on every
   /// member because collectives are called in the same order).
   int next_coll_tag() noexcept {
@@ -134,6 +198,10 @@ class Communicator {
   int my_rank_;
   std::uint64_t context_;
   std::uint32_t coll_seq_ = 0;
+  /// Invocation counters for the FT operations (advance identically on all
+  /// members because the operations are called in the same order).
+  std::uint32_t agree_seq_ = 0;
+  std::uint32_t shrink_seq_ = 0;
 };
 
 }  // namespace mpi

@@ -8,7 +8,10 @@
 namespace mpi {
 
 Engine::Engine(pmi::Context& ctx, const EngineConfig& cfg)
-    : ctx_(&ctx), cfg_(cfg), ch3_(ch3::make_channel(ctx, cfg.stack)) {}
+    : ctx_(&ctx),
+      cfg_(cfg),
+      ch3_(ch3::make_channel(ctx, cfg.stack)),
+      ft_armed_(cfg.stack.channel.ft_detector) {}
 
 Engine::~Engine() = default;
 
@@ -37,11 +40,10 @@ std::unique_ptr<Engine::PostedRecv> Engine::match_posted(
 // ---------------------------------------------------------------------------
 
 ch3::Sink Engine::on_eager(int src, const ch3::MatchHeader& hdr) {
-  (void)src;
   const std::uint64_t id = ++cookie_seq_;
   if (auto r = match_posted(hdr)) {
     check_truncation(r->cap, hdr);
-    inflight_[id] = Inflight{r->req, nullptr};
+    inflight_[id] = Inflight{r->req, nullptr, src};
     return ch3::Sink{r->buf, id};
   }
   auto u = std::make_unique<UnexMsg>();
@@ -50,7 +52,7 @@ ch3::Sink Engine::on_eager(int src, const ch3::MatchHeader& hdr) {
   u->data.resize(hdr.length);
   UnexMsg* raw = u.get();
   unexpected_.push_back(std::move(u));
-  inflight_[id] = Inflight{nullptr, raw};
+  inflight_[id] = Inflight{nullptr, raw, src};
   return ch3::Sink{raw->data.data(), id};
 }
 
@@ -77,7 +79,7 @@ void Engine::on_rts(int src, const ch3::MatchHeader& hdr,
   if (auto r = match_posted(hdr)) {
     check_truncation(r->cap, hdr);
     const std::uint64_t id = ++cookie_seq_;
-    inflight_[id] = Inflight{r->req, nullptr};
+    inflight_[id] = Inflight{r->req, nullptr, src};
     // Stash the envelope for completion-time status.
     inflight_[id].req->status.source = hdr.src;
     inflight_[id].req->status.tag = hdr.tag;
@@ -143,6 +145,7 @@ sim::Task<Request> Engine::isend(const void* buf, std::size_t bytes,
   }
 
   ch3_->start_send(dst_world, hdr, buf, &st->ch3_send);
+  if (ft_armed_) pending_sends_.push_back(PendingSend{dst_world, context, st});
   co_return Request(st);
 }
 
@@ -167,7 +170,7 @@ sim::Task<Request> Engine::irecv(void* buf, std::size_t bytes,
     ++unexpected_hits;
     if (u.rndv) {
       const std::uint64_t id = ++cookie_seq_;
-      inflight_[id] = Inflight{st, nullptr};
+      inflight_[id] = Inflight{st, nullptr, u.src_vc};
       st->status.source = u.hdr.src;
       st->status.tag = u.hdr.tag;
       st->status.bytes = u.hdr.length;
@@ -214,11 +217,109 @@ sim::Task<bool> Engine::run_deferred() {
   co_return any;
 }
 
+int Engine::dead_src_world(std::uint64_t context, int src) const {
+  const auto git = groups_.find(context);
+  if (git == groups_.end()) return -1;
+  const std::vector<int>& group = *git->second;
+  const pmi::Kvs& kvs = *ctx_->kvs;
+  if (src == kAnySource) {
+    for (const int w : group) {
+      if (kvs.is_dead(w)) return w;
+    }
+    return -1;
+  }
+  if (src < 0 || static_cast<std::size_t>(src) >= group.size()) return -1;
+  const int w = group[static_cast<std::size_t>(src)];
+  return kvs.is_dead(w) ? w : -1;
+}
+
+void Engine::ft_sweep() {
+  if (!ft_armed_) return;
+  pmi::Kvs& kvs = *ctx_->kvs;
+  const std::uint64_t gen = kvs.obit_version() + kvs.mail_count("rvk");
+  if (gen == ft_gen_seen_) return;
+  ft_gen_seen_ = gen;
+
+  const auto revoked = [&kvs](std::uint64_t c) {
+    return kvs.has("rvk:" + std::to_string(c));
+  };
+  const auto dead_msg = [](int w) {
+    return "rank " + std::to_string(w) + " has a published obituary";
+  };
+
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    if (revoked(it->context)) {
+      fail_req(*it->req, /*revoked=*/true, -1,
+               "receive interrupted: communicator revoked");
+      it = posted_.erase(it);
+      continue;
+    }
+    const int w = dead_src_world(it->context, it->src);
+    if (w >= 0) {
+      fail_req(*it->req, /*revoked=*/false, w,
+               "receive from dead process: " + dead_msg(w));
+      it = posted_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+
+  // Matched receives whose payload is mid-delivery from a rank that died:
+  // the data leg will never finish, so fail the request (the entry stays --
+  // a straggling completion on a failed request is harmless).
+  for (auto& [cookie, inf] : inflight_) {
+    (void)cookie;
+    if (inf.req && inf.src_world >= 0 && kvs.is_dead(inf.src_world)) {
+      fail_req(*inf.req, /*revoked=*/false, inf.src_world,
+               "delivery from dead process: " + dead_msg(inf.src_world));
+    }
+  }
+  for (auto& u : unexpected_) {
+    if (u->claimed && u->src_vc >= 0 && !u->data_ready &&
+        kvs.is_dead(u->src_vc)) {
+      fail_req(*u->claimed, /*revoked=*/false, u->src_vc,
+               "delivery from dead process: " + dead_msg(u->src_vc));
+    }
+  }
+
+  for (auto it = pending_sends_.begin(); it != pending_sends_.end();) {
+    std::shared_ptr<detail::ReqState> st = it->req.lock();
+    if (!st || st->completed()) {
+      it = pending_sends_.erase(it);
+      continue;
+    }
+    if (revoked(it->context)) {
+      fail_req(*st, /*revoked=*/true, -1,
+               "send interrupted: communicator revoked");
+      it = pending_sends_.erase(it);
+      continue;
+    }
+    if (kvs.is_dead(it->dst_world)) {
+      fail_req(*st, /*revoked=*/false, it->dst_world,
+               "send to dead process: " + dead_msg(it->dst_world));
+      it = pending_sends_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+}
+
 sim::Task<void> Engine::progress_until(const std::function<bool()>& pred) {
+  ft_sweep();
   while (!pred()) {
     const std::uint64_t gen = ch3_->activity_count();
-    bool moved = co_await ch3_->progress_once();
+    bool moved = false;
+    try {
+      moved = co_await ch3_->progress_once();
+    } catch (const ch3::VcError& e) {
+      // With the detector armed a VC failure is a process failure: surface
+      // it as the typed MPI error so collectives and callers can run the
+      // revoke -> agree -> shrink path.  Unarmed, keep the historic VcError.
+      if (!ft_armed_) throw;
+      throw ProcFailedError(e.peer(), e.what());
+    }
     moved |= co_await run_deferred();
+    ft_sweep();
     if (pred()) break;
     if (!moved && ch3_->activity_count() == gen) {
       co_await ch3_->wait_for_activity();
@@ -228,6 +329,7 @@ sim::Task<void> Engine::progress_until(const std::function<bool()>& pred) {
 
 sim::Task<void> Engine::wait(const Request& r) {
   co_await progress_until([&r] { return r.done(); });
+  throw_if_failed(r);
 }
 
 sim::Task<void> Engine::wait_all(std::span<const Request> rs) {
@@ -235,11 +337,14 @@ sim::Task<void> Engine::wait_all(std::span<const Request> rs) {
     return std::all_of(rs.begin(), rs.end(),
                        [](const Request& r) { return r.done(); });
   });
+  for (const Request& r : rs) throw_if_failed(r);
 }
 
 sim::Task<bool> Engine::test(const Request& r) {
   (void)co_await ch3_->progress_once();
   (void)co_await run_deferred();
+  ft_sweep();
+  throw_if_failed(r);
   co_return r.done();
 }
 

@@ -69,6 +69,27 @@ class Engine final : public ch3::EngineHooks {
   double wtime() const { return sim::to_sec(ctx_->sim().now()); }
   ch3::Ch3Channel& channel() noexcept { return *ch3_; }
 
+  // ---- process-fault tolerance --------------------------------------------
+  /// Whether the failure detector is armed (channel config ft_detector).
+  /// Off: every FT hook below is a no-op and behavior is bit-identical to
+  /// the pre-FT engine.
+  bool ft_armed() const noexcept { return ft_armed_; }
+  /// Registers a communicator's comm-rank -> world-rank map under both of
+  /// its context ids, so the fault sweep can attribute posted receives
+  /// (keyed by comm rank) to obituaries (keyed by world rank).  `group`
+  /// must stay alive as long as the engine (communicators are never freed
+  /// before finalize).
+  void register_group(std::uint64_t context, const std::vector<int>* group) {
+    if (!ft_armed_) return;
+    groups_[context] = group;
+    groups_[context + 1] = group;
+  }
+  /// Fails every posted receive, claimed unexpected delivery, and pending
+  /// send that involves a newly obituaried rank or a newly revoked context.
+  /// Cheap when nothing changed (one generation compare); called from the
+  /// progress loop so blocked waiters observe deaths without new traffic.
+  void ft_sweep();
+
   // -- EngineHooks ----------------------------------------------------------
   ch3::Sink on_eager(int src, const ch3::MatchHeader& hdr) override;
   void on_eager_complete(const ch3::Sink& sink,
@@ -102,6 +123,15 @@ class Engine final : public ch3::EngineHooks {
   struct Inflight {
     std::shared_ptr<detail::ReqState> req;  // matched receive, or
     UnexMsg* unex = nullptr;                // unexpected buffer
+    int src_world = -1;  // sending rank, for the fault sweep
+  };
+
+  /// A started channel send the fault sweep may still have to fail
+  /// (ft_armed only; pruned as requests complete).
+  struct PendingSend {
+    int dst_world;
+    std::uint64_t context;
+    std::weak_ptr<detail::ReqState> req;
   };
 
   static bool matches(const PostedRecv& r, const ch3::MatchHeader& h) {
@@ -131,6 +161,29 @@ class Engine final : public ch3::EngineHooks {
   /// Runs deferred charged work (copies of claimed unexpected messages).
   sim::Task<bool> run_deferred();
 
+  /// Marks a request failed (it now counts as completed) with the fault
+  /// attribution wait/test will rethrow.
+  static void fail_req(detail::ReqState& st, bool revoked, int world_rank,
+                       std::string why) {
+    if (st.failed || st.completed()) return;
+    st.failed = true;
+    st.revoked = revoked;
+    st.failed_rank = world_rank;
+    st.error = std::move(why);
+  }
+  /// Rethrows a failed request's fault as the typed MPI error.
+  static void throw_if_failed(const Request& r) {
+    const detail::ReqState* st = r.state();
+    if (st == nullptr || !st->failed) return;
+    if (st->revoked) throw RevokedError(0, st->error);
+    throw ProcFailedError(st->failed_rank, st->error);
+  }
+  /// World rank of a newly dead source matching a posted receive's
+  /// (context, comm-rank src) pair, or -1.  kAnySource receives fail when
+  /// *any* group member is dead (the ULFM wildcard rule: the message might
+  /// have been the corpse's).
+  int dead_src_world(std::uint64_t context, int src) const;
+
   void check_truncation(std::size_t cap, const ch3::MatchHeader& h) const {
     if (h.length > cap) {
       throw MpiError("message truncation: incoming " +
@@ -148,6 +201,14 @@ class Engine final : public ch3::EngineHooks {
   std::unordered_map<std::uint64_t, Inflight> inflight_;
   std::vector<UnexMsg*> deferred_copies_;
   std::uint64_t cookie_seq_ = 0;
+
+  // ---- process-fault tolerance --------------------------------------------
+  bool ft_armed_ = false;
+  /// Last observed obituary-board + revocation-list generation; the sweep
+  /// only walks the queues when it moves.
+  std::uint64_t ft_gen_seen_ = 0;
+  std::unordered_map<std::uint64_t, const std::vector<int>*> groups_;
+  std::vector<PendingSend> pending_sends_;
 
   // statistics (reported by benches / examples)
  public:

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "ch3/ch3.hpp"
 #include "mpi/types.hpp"
@@ -16,8 +17,16 @@ struct ReqState {
   ch3::SendReq ch3_send;  // channel flips ch3_send.done for sends
   Status status;
 
+  // Fault-tolerance outcome (set by the engine's fault sweep): a failed
+  // request counts as completed -- waiters unblock -- and wait/test raise
+  // ProcFailedError or RevokedError from these fields instead of returning.
+  bool failed = false;
+  bool revoked = false;   // failure cause: revocation (else process death)
+  int failed_rank = -1;   // world rank of the dead process, if attributable
+  std::string error;
+
   bool completed() const noexcept {
-    return is_send ? ch3_send.done : recv_done;
+    return failed || (is_send ? ch3_send.done : recv_done);
   }
 };
 

@@ -34,7 +34,19 @@ class Runtime {
   }
 
   sim::Task<void> finalize() {
-    co_await world_->barrier();
+    // A dead member can never reach the world barrier; survivors skip it
+    // (channel finalize's job-wide PMI barrier abandons obituaried ranks,
+    // which is the synchronization that actually matters for teardown).
+    bool skip_barrier = false;
+    if (engine_.ft_armed() && ctx_->kvs->obit_version() != 0) {
+      for (const int w : world_->group()) {
+        if (ctx_->kvs->is_dead(w)) {
+          skip_barrier = true;
+          break;
+        }
+      }
+    }
+    if (!skip_barrier) co_await world_->barrier();
     co_await engine_.finalize();
   }
 
@@ -46,7 +58,9 @@ class Runtime {
                            std::uint64_t context) {
     comms_.push_back(std::unique_ptr<Communicator>(new Communicator(
         *this, engine_, std::move(group), my_rank, context)));
-    return *comms_.back();
+    Communicator& c = *comms_.back();
+    engine_.register_group(context, &c.group());
+    return c;
   }
 
   std::uint64_t peek_next_context() const noexcept { return next_context_; }

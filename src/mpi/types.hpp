@@ -77,4 +77,33 @@ class MpiError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// ULFM-style MPI_ERR_PROC_FAILED: the operation involved a rank with a
+/// published obituary (or the transport convicted it mid-operation).  The
+/// communicator stays usable toward live members; Communicator::shrink()
+/// builds a clean replacement.
+class ProcFailedError : public MpiError {
+ public:
+  ProcFailedError(int world_rank, const std::string& what)
+      : MpiError(what), world_rank_(world_rank) {}
+  /// World rank of the failed process (-1 if unattributable).
+  int world_rank() const noexcept { return world_rank_; }
+
+ private:
+  int world_rank_;
+};
+
+/// ULFM-style MPI_ERR_REVOKED: the communicator was revoked (by any member,
+/// typically after it observed a process failure); every pending and future
+/// operation on it fails with this error so all members reach the
+/// revoke -> agree -> shrink recovery path instead of hanging.
+class RevokedError : public MpiError {
+ public:
+  RevokedError(std::uint64_t context, const std::string& what)
+      : MpiError(what), context_(context) {}
+  std::uint64_t context() const noexcept { return context_; }
+
+ private:
+  std::uint64_t context_;
+};
+
 }  // namespace mpi

@@ -12,7 +12,9 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "ib/fabric.hpp"
 #include "sim/sync.hpp"
@@ -111,11 +113,41 @@ class Kvs {
     return mailboxes_[key];
   }
 
+  /// Entries in `key`'s mailbox without materializing it (const-safe): a
+  /// cheap monotone version for consumers that only need "did it move".
+  std::size_t mail_count(const std::string& key) const {
+    auto it = mailboxes_.find(key);
+    return it == mailboxes_.end() ? 0 : it->second.size();
+  }
+
   std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Obituary board.  A rank that convicts a peer as permanently dead posts
+  /// an obituary here; every other rank consults the board before burning
+  /// its own retry budget against the corpse.  post_obit is idempotent (the
+  /// first conviction wins) and mirrors the obituary into the regular KVS as
+  /// "ft:dead:<rank>" so key-based waiters (get_unless family) can use it as
+  /// an abort key.  obit_version() is a cheap monotonic cursor: consumers
+  /// cache it and rescan the board only when it moves.
+  bool post_obit(int rank) {
+    if (!dead_ranks_.insert(rank).second) return false;
+    obit_list_.push_back(rank);
+    put("ft:dead:" + std::to_string(rank), "1");
+    return true;
+  }
+
+  bool is_dead(int rank) const { return dead_ranks_.count(rank) > 0; }
+
+  /// Ranks obituaried so far, in conviction order.  Stable reference.
+  const std::vector<int>& obits() const noexcept { return obit_list_; }
+
+  std::uint64_t obit_version() const noexcept { return obit_list_.size(); }
 
  private:
   std::map<std::string, std::string> entries_;
   std::map<std::string, std::vector<std::string>> mailboxes_;
+  std::set<int> dead_ranks_;
+  std::vector<int> obit_list_;
   sim::Trigger published_;
 };
 
@@ -147,11 +179,27 @@ class Barrier {
 
   bool done(std::uint64_t token) const noexcept { return generation_ > token; }
 
+  /// Removes a permanently dead rank from the participant set: a corpse can
+  /// never arrive, so leaving it counted wedges every subsequent job-wide
+  /// barrier (finalize).  Idempotent per rank -- any number of survivors may
+  /// report the same obituary.  If the remaining participants have all
+  /// already arrived, the barrier releases immediately.
+  void abandon(int rank) {
+    if (!abandoned_.insert(rank).second) return;
+    --participants_;
+    if (participants_ > 0 && arrived_ >= participants_) {
+      arrived_ = 0;
+      ++generation_;
+      released_.fire();
+    }
+  }
+
  private:
   sim::Trigger released_;
   int participants_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
+  std::set<int> abandoned_;
 };
 
 /// Per-rank execution context handed to every rank program.
@@ -169,6 +217,22 @@ struct Context {
   sim::Simulator& sim() const { return node->fabric().sim(); }
   ib::Fabric& fabric() const { return node->fabric(); }
 };
+
+/// Fires every fabric node's DMA-arrival trigger one wire latency from now.
+/// Progress loops park on those triggers (not on the KVS), so a control-plane
+/// event that must interrupt blocked ranks everywhere -- an obituary posting,
+/// a communicator revocation -- follows its KVS write with this broadcast
+/// wake-up.  Idempotent and cheap: woken ranks that find nothing to do just
+/// park again.
+inline void wake_all_ranks(Context& ctx) {
+  sim::Simulator& sim = ctx.sim();
+  ib::Fabric& fabric = ctx.fabric();
+  const sim::Tick at = sim.now() + fabric.cfg().wire_latency;
+  for (std::size_t i = 0; i < fabric.node_count(); ++i) {
+    ib::Node* n = &fabric.node(i);
+    sim.call_at(at, [n] { n->dma_arrival().fire(); });
+  }
+}
 
 /// Launches an `n`-rank job on the fabric: adds one node per rank (if the
 /// fabric does not already have enough), builds the contexts, and spawns

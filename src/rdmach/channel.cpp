@@ -74,6 +74,20 @@ void Channel::reset_stats() {
   rndv_read_track_ = ProtoTrack{};
 }
 
+std::string ChannelError::to_string() const {
+  std::string s = "ChannelError{";
+  s += kind_ == kIntegrity ? "integrity" : "dead";
+  s += " peer=" + std::to_string(peer_);
+  s += ": ";
+  s += what();
+  if (has_snapshot_) {
+    s += "; ";
+    s += snapshot_.to_string();
+  }
+  s += "}";
+  return s;
+}
+
 std::string RecoverySnapshot::to_string() const {
   return "recovery stuck at " + stage + ": epoch=" + std::to_string(epoch) +
          " attempts=" + std::to_string(attempts) +

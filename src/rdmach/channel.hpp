@@ -148,6 +148,20 @@ struct ChannelConfig {
   /// capped backoff ~= 16 ms << 50 ms).
   sim::Tick recovery_epoch_deadline = sim::usec(50'000);
 
+  // ---- process-fault detection --------------------------------------------
+  /// Failure detector for *permanent* rank death: when the recovery
+  /// watchdog, the retry budget, or the lazy-connect pacing budget convicts
+  /// a peer as dead, publish a job-wide obituary (PMI-KVS board, piggybacked
+  /// in-band on eager headers by the MPI engine) so every other rank learns
+  /// of the death in O(1) observations and fails fast with the snapshot
+  /// attached, instead of each independently burning a full retry budget.
+  /// Off by default: a conviction then stays a pairwise verdict (the
+  /// pre-detector behavior -- a budget exhaustion on one pair says nothing
+  /// certain about the peer's other connections), and the board is never
+  /// consulted.  With it on and no faults injected, traces stay
+  /// bit-identical: the detector only acts on convictions.
+  bool ft_detector = false;
+
   // ---- adaptive rendezvous engine (Design::kAdaptive) ---------------------
   /// Static starting point for the write/read crossover: rendezvous of at
   /// least this many bytes begin on the chunked-read pipeline, smaller ones
@@ -270,6 +284,19 @@ struct ChannelStats {
   std::uint64_t resident_bytes = 0;
   /// Currently wired peer connections (O(active peers), not O(ranks)).
   std::uint64_t qps_live = 0;
+  /// LRU ping-pong: reconnects of a peer this rank itself evicted within
+  /// the last qp_budget evictions -- a qp_budget smaller than the working
+  /// set (2*log2(p) dissemination peers for the tree collectives) makes
+  /// every collective round pay a teardown + rendezvous it immediately
+  /// undoes.  Nonzero means "raise qp_budget".
+  std::uint64_t qp_thrash = 0;
+  // ---- process-fault detection --------------------------------------------
+  /// Obituaries this rank published (peers it convicted as permanently
+  /// dead via retry-budget exhaustion or a watchdog trip).
+  std::uint64_t obits_posted = 0;
+  /// Operations against a peer that failed fast off the obituary board
+  /// instead of burning a local retry budget -- the O(1)-detection payoff.
+  std::uint64_t obit_fast_fails = 0;
 };
 
 /// Diagnostic state of a recovery episode at the moment it was given up,
@@ -319,6 +346,11 @@ class ChannelError : public std::runtime_error {
   /// (budget exhaustion and watchdog trips).
   bool has_snapshot() const noexcept { return has_snapshot_; }
   const RecoverySnapshot& snapshot() const noexcept { return snapshot_; }
+
+  /// One-line render of everything the error carries -- kind, peer, message,
+  /// and the recovery snapshot when present -- so a nasfault failure or test
+  /// log shows *where* recovery was stuck, not just the error code.
+  std::string to_string() const;
 
  private:
   int peer_;

@@ -1,6 +1,7 @@
 #include "rdmach/verbs_base.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -191,6 +192,11 @@ sim::Task<void> VerbsChannelBase::finalize() {
   // exactly the case the drain above exists for, with the roles swapped.
   const std::uint64_t token = ctx_->barrier->arrive_split();
   while (!ctx_->barrier->done(token)) {
+    // Obituaried ranks can never arrive: drop them from the participant
+    // set (idempotent per rank) so survivors' finalize does not wedge on a
+    // corpse.  Re-checked each pass -- an obituary can land while parked.
+    for (int r : ctx_->kvs->obits()) ctx_->barrier->abandon(r);
+    if (ctx_->barrier->done(token)) break;
     bool serviced = false;
     // A finalizing rank keeps answering the lazy control plane too: a
     // slower peer may still need our half of an evict handshake to get out
@@ -419,6 +425,27 @@ RecoverySnapshot VerbsChannelBase::make_snapshot(const VerbsConnection& c,
   return s;
 }
 
+void VerbsChannelBase::post_obituary(VerbsConnection& c) {
+  if (!cfg_.ft_detector) return;
+  if (!ctx_->kvs->post_obit(c.peer)) return;
+  ++obits_posted_;
+  // Progress engines park on the fabric dma_arrival triggers, not the KVS
+  // one: wake every node (one wire latency out, like any CM event) so
+  // parked loops re-check the board instead of sleeping on a corpse.
+  pmi::wake_all_ranks(*ctx_);
+}
+
+void VerbsChannelBase::obit_fast_fail(VerbsConnection& c, const char* stage) {
+  if (!cfg_.ft_detector || !peer_obituaried(c)) return;
+  ++obit_fast_fails_;
+  c.rec.dead = true;
+  RecoverySnapshot snap = make_snapshot(c, std::string("obituary:") + stage);
+  throw ChannelError(c.peer,
+                     "rank " + std::to_string(c.peer) +
+                         " has a published obituary (" + stage + ")",
+                     ChannelError::kDead, std::move(snap));
+}
+
 void VerbsChannelBase::watchdog_abort(VerbsConnection& c, const char* stage) {
   ++watchdog_trips_;
   c.rec.dead = true;
@@ -427,6 +454,7 @@ void VerbsChannelBase::watchdog_abort(VerbsConnection& c, const char* stage) {
   ctx_->kvs->put(dead_key(rank(), c.peer), "1");
   wake_peer(c);
   node().dma_arrival().fire();
+  post_obituary(c);
   RecoverySnapshot snap = make_snapshot(c, std::string("watchdog:") + stage);
   throw ChannelError(c.peer,
                      "connection to rank " + std::to_string(c.peer) +
@@ -440,9 +468,16 @@ sim::Task<void> VerbsChannelBase::maybe_recover(VerbsConnection& c) {
   for (;;) {
     if (!c.rec.dead && kvs.has(dead_key(c.peer, rank()))) c.rec.dead = true;
     if (c.rec.dead) {
-      throw ChannelError(c.peer, "connection to rank " +
-                                     std::to_string(c.peer) + " is dead");
+      throw ChannelError(c.peer,
+                         "connection to rank " + std::to_string(c.peer) +
+                             " is dead",
+                         ChannelError::kDead, make_snapshot(c, "dead"));
     }
+    // Obituary board: someone else already paid the detection cost for
+    // this peer -- fail fast instead of burning a local retry budget.
+    // Re-checked every loop pass, so an obituary landing mid-burn aborts
+    // the remaining backoff ladder too.
+    obit_fast_fail(c, "recover-entry");
     if (!c.rec.failed && !c.integrity_failed && !peer_epoch_pending(c)) {
       co_return;
     }
@@ -546,6 +581,7 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
     c.rec.dead = true;
     kvs.put(dead_key(rank(), c.peer), "1");
     wake_peer(c);
+    post_obituary(c);
     const ChannelError::Kind kind =
         c.rec.integrity ? ChannelError::kIntegrity : ChannelError::kDead;
     throw ChannelError(
@@ -612,9 +648,11 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
       watchdog_abort(c, "handshake");
     }
     c.rec.dead = true;
-    throw ChannelError(c.peer, "connection to rank " +
-                                   std::to_string(c.peer) +
-                                   " declared dead by peer");
+    throw ChannelError(c.peer,
+                       "connection to rank " + std::to_string(c.peer) +
+                           " declared dead by peer",
+                       ChannelError::kDead,
+                       make_snapshot(c, "peer-declared-dead"));
   }
   const auto peer_qpn =
       static_cast<std::uint32_t>(std::stoull(*peer_qpn_s));
@@ -706,6 +744,7 @@ sim::Task<void> VerbsChannelBase::lz_pace(VerbsConnection& c,
     c.rec.dead = true;
     ctx_->kvs->put(dead_key(rank(), c.peer), "1");
     wake_peer(c);
+    post_obituary(c);
     throw ChannelError(c.peer,
                        "connection to rank " + std::to_string(c.peer) +
                            " beyond reach: " +
@@ -829,6 +868,26 @@ sim::Task<void> VerbsChannelBase::lazy_advance(VerbsConnection& c) {
   lz_activate(c.peer);
   ++qps_live_;
   ++connects_on_demand_;
+  // Evict/reconnect ping-pong: re-wiring a peer this rank itself evicted
+  // within the last qp_budget evictions means the working set (for the
+  // tree collectives, 2*log2(p) dissemination peers) exceeds the budget --
+  // every round now pays a teardown it immediately undoes.
+  if (c.lz_evicted_at != 0 && cfg_.qp_budget > 0 &&
+      lz_evict_seq_ - c.lz_evicted_at <
+          static_cast<std::uint64_t>(cfg_.qp_budget)) {
+    ++qp_thrash_;
+    if (!qp_thrash_warned_) {
+      qp_thrash_warned_ = true;
+      std::fprintf(stderr,
+                   "rdmach: rank %d qp_budget=%d thrashes: peer %d "
+                   "re-wired %llu evictions after this rank evicted it "
+                   "(working set exceeds the budget; raise qp_budget)\n",
+                   rank(), cfg_.qp_budget, c.peer,
+                   static_cast<unsigned long long>(lz_evict_seq_ -
+                                                   c.lz_evicted_at));
+    }
+  }
+  c.lz_evicted_at = 0;
   lz_touch(c);
 }
 
@@ -920,6 +979,10 @@ sim::Task<void> VerbsChannelBase::lazy_maybe_evict() {
   v.boot = VerbsConnection::Boot::kEvictWait;
   v.rec.attempts = 0;
   v.lz_next_attempt = ctx_->sim().now();
+  // Thrash-window stamp: if this rank re-wires the same peer within the
+  // next qp_budget evictions, the LRU threw away a connection the working
+  // set still needed (see the qp_thrash accounting in lazy_advance).
+  v.lz_evicted_at = ++lz_evict_seq_;
   lz_evict_peer_ = v.peer;
   lz_post_mail(v, "e:" + std::to_string(rank()) + ":" +
                       std::to_string(v.lz_gen) + ":" +
@@ -999,7 +1062,8 @@ sim::Task<void> VerbsChannelBase::lz_handle_mail(const std::string& msg) {
     case 'n':
       if (gen == c.lz_gen && c.boot == Boot::kEvictWait) {
         c.boot = Boot::kReady;
-        lz_touch(c);  // do not immediately re-pick the same victim
+        c.lz_evicted_at = 0;  // eviction refused: no teardown, no thrash
+        lz_touch(c);          // do not immediately re-pick the same victim
       }
       if (lz_evict_peer_ == from) lz_evict_peer_ = -1;
       co_return;
@@ -1086,9 +1150,13 @@ sim::Task<bool> VerbsChannelBase::ensure_tx(VerbsConnection& c) {
   }
   if (c.rec.dead || ctx_->kvs->has(dead_key(c.peer, rank()))) {
     c.rec.dead = true;
-    throw ChannelError(c.peer, "connection to rank " +
-                                   std::to_string(c.peer) + " is dead");
+    throw ChannelError(c.peer,
+                       "connection to rank " + std::to_string(c.peer) +
+                           " is dead",
+                       ChannelError::kDead,
+                       make_snapshot(c, "lazy-connect:dead"));
   }
+  obit_fast_fail(c, "lazy-connect");
   co_await lz_pace(c, "connect-budget");
   co_return false;
 }
@@ -1106,9 +1174,13 @@ sim::Task<bool> VerbsChannelBase::ensure_rx(VerbsConnection& c) {
   // a killed never-connected rank fails instead of spinning.
   if (c.rec.dead || ctx_->kvs->has(dead_key(c.peer, rank()))) {
     c.rec.dead = true;
-    throw ChannelError(c.peer, "connection to rank " +
-                                   std::to_string(c.peer) + " is dead");
+    throw ChannelError(c.peer,
+                       "connection to rank " + std::to_string(c.peer) +
+                           " is dead",
+                       ChannelError::kDead,
+                       make_snapshot(c, "lazy-accept:dead"));
   }
+  obit_fast_fail(c, "lazy-accept");
   co_return false;
 }
 

@@ -156,6 +156,11 @@ class VerbsConnection : public Connection {
   sim::Tick lz_next_attempt = 0;
   /// LRU stamp from the channel's use clock; 0 = never used.
   std::uint64_t lz_last_used = 0;
+  /// Channel evict-sequence number when this rank last evicted this peer;
+  /// 0 = never evicted.  A reconnect landing within qp_budget evictions of
+  /// this stamp means the LRU threw away a connection the working set still
+  /// needed (cache thrash) -- see ChannelStats::qp_thrash.
+  std::uint64_t lz_evicted_at = 0;
   /// Receive-ring base: recv_ring.data() for a dedicated ring, or a
   /// SharedRecvPool lease.  Every receive-path read goes through this.
   std::byte* rx = nullptr;
@@ -204,6 +209,9 @@ class VerbsChannelBase : public Channel {
     s.qps_evicted = qps_evicted_;
     s.connects_on_demand = connects_on_demand_;
     s.qps_live = qps_live_;
+    s.qp_thrash = qp_thrash_;
+    s.obits_posted = obits_posted_;
+    s.obit_fast_fails = obit_fast_fails_;
     s.srq_pool_high_water = srq_pool_.high_water();
     std::uint64_t resident = srq_pool_.bytes();
     for (const auto& c : conns_) {
@@ -229,6 +237,9 @@ class VerbsChannelBase : public Channel {
     qps_created_ = 0;
     qps_evicted_ = 0;
     connects_on_demand_ = 0;
+    qp_thrash_ = 0;
+    obits_posted_ = 0;
+    obit_fast_fails_ = 0;
     // qps_live_ / srq high water are state gauges, not counters: they keep
     // describing what is resident right now.
   }
@@ -358,6 +369,24 @@ class VerbsChannelBase : public Channel {
   /// otherwise runs the recovery loop until the connection is clean.  Free
   /// of posts and virtual time on the fault-free path.
   sim::Task<void> maybe_recover(VerbsConnection& c);
+
+  // ---- failure detector (process faults) ----------------------------------
+  /// Publishes an obituary for `c`'s peer on the job-wide board.  Called at
+  /// every site that convicts a peer as permanently dead (watchdog trip,
+  /// retry-budget exhaustion, lazy-connect pacing budget), so the first
+  /// rank to pay a full detection cost spares everyone else theirs.  Wakes
+  /// every node's progress loop -- engines park on the fabric trigger, not
+  /// the KVS one.  Idempotent per peer.
+  void post_obituary(VerbsConnection& c);
+  /// Whether `c`'s peer is already on the obituary board.
+  bool peer_obituaried(const VerbsConnection& c) const {
+    return ctx_->kvs->is_dead(c.peer);
+  }
+  /// Fast-fail gate: if the peer is obituaried (by anyone) and `c` is not
+  /// yet locally marked dead, marks it and throws ChannelError::kDead with
+  /// a snapshot -- the caller never burns a local retry budget against a
+  /// known corpse.  No-op for live peers.
+  void obit_fast_fail(VerbsConnection& c, const char* stage);
 
   // ---- lazy connect / connection cache ------------------------------------
   /// put()-side gate: under lazy_connect, services the handshake mailbox
@@ -567,6 +596,13 @@ class VerbsChannelBase : public Channel {
   std::uint64_t connects_on_demand_ = 0;
   /// Resident connections (wired QP sets), the qp_budget gauge.
   std::uint64_t qps_live_ = 0;
+  /// Evictions this rank has initiated (the thrash-window clock).
+  std::uint64_t lz_evict_seq_ = 0;
+  std::uint64_t qp_thrash_ = 0;
+  /// One-shot diagnostic guard for the thrash warning.
+  bool qp_thrash_warned_ = false;
+  std::uint64_t obits_posted_ = 0;
+  std::uint64_t obit_fast_fails_ = 0;
 };
 
 }  // namespace rdmach

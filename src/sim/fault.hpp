@@ -61,6 +61,31 @@ class FaultSchedule {
     kill_from(rail_scope(node, rail), from);
   }
 
+  /// Permanently kills the process on `node` once it has initiated `at_op`
+  /// WQEs (0 = dead from the start).  Unlike kill_from, death is symmetric:
+  /// every WQE initiated *by* the node and every WQE initiated *towards* it
+  /// errors forever, and reconnect/lazy-connect attempts against it can
+  /// never succeed.  Instrumentation queries node_dead() rather than
+  /// check(), since death is a property of the endpoint, not of one scope's
+  /// op counter.
+  void rank_down(const std::string& node, std::uint64_t at_op = 0) {
+    rank_down_at_[node] = at_op;
+  }
+
+  /// True once `node` is past its rank_down threshold.  The threshold is
+  /// measured against the node's own initiated-WQE scope counter, so
+  /// "die at op N" is deterministic across runs.  Sticky.
+  bool node_dead(const std::string& node) const {
+    auto it = rank_down_at_.find(node);
+    if (it == rank_down_at_.end()) return false;
+    return observed(node) >= it->second;
+  }
+
+  /// Any rank_down rules armed at all?  Lets hot paths skip the map lookup
+  /// when no process faults are scheduled (fault-free traces stay
+  /// bit-identical).
+  bool any_rank_down() const noexcept { return !rank_down_at_.empty(); }
+
   /// Kills the `nth` (0-based) operation observed in `scope`.
   void kill(const std::string& scope, std::uint64_t nth, bool fatal = true) {
     scopes_[scope].plans[nth] = Fault{Fault::Kind::kKill, fatal};
@@ -121,6 +146,7 @@ class FaultSchedule {
   };
 
   std::map<std::string, Scope> scopes_;
+  std::map<std::string, std::uint64_t> rank_down_at_;
   std::uint64_t delivered_ = 0;
 };
 

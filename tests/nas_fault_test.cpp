@@ -18,6 +18,7 @@
 //     a clean per-rank transport error -- no schedule may wedge a run.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -234,8 +235,17 @@ TEST(NasFaultCampaign, SeededCampaignSoakTerminatesCleanOnEveryDesign) {
   };
   const auto& mixes = benchutil::standard_mixes();
   const ib::FabricConfig fabric = benchutil::two_rail_fabric();
+  // Wall-clock budget: the soak normally takes a couple of seconds, but a
+  // pathological schedule (or a sanitizer build on a loaded machine) must
+  // not turn it into the suite's long pole.  Seeds are visited in order, so
+  // a capped run still covers a deterministic prefix.
+  const auto wall_start = std::chrono::steady_clock::now();
+  constexpr auto kWallBudget = std::chrono::seconds(120);
+  std::uint64_t ran = 0;
   int completed_verified = 0, clean_errors = 0;
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    if (std::chrono::steady_clock::now() - wall_start > kWallBudget) break;
+    ++ran;
     const rdmach::Design design = designs[seed % 6];
     const mpi::RuntimeConfig cfg = benchutil::campaign_config(design);
     sim::FaultCampaign campaign(seed);
@@ -260,9 +270,11 @@ TEST(NasFaultCampaign, SeededCampaignSoakTerminatesCleanOnEveryDesign) {
       ++clean_errors;
     }
   }
-  // The soak is useful only if most campaigns actually complete.
-  EXPECT_EQ(completed_verified + clean_errors, 60);
-  EXPECT_GE(completed_verified, 40);
+  // The soak is useful only if most campaigns actually complete, and the
+  // wall-clock cap may only trim the tail, never gut the suite.
+  EXPECT_EQ(completed_verified + clean_errors, static_cast<int>(ran));
+  EXPECT_GE(ran, 12u) << "wall-clock cap cut the soak below usefulness";
+  EXPECT_GE(completed_verified, static_cast<int>(ran * 2 / 3));
 }
 
 }  // namespace

@@ -374,6 +374,73 @@ TEST(ConnectionCache, EvictionBlockedWhileJournalOutstanding) {
   EXPECT_TRUE(evicted_after_drain);
 }
 
+/// Shared scenario for the evict-handshake kill tests: rank 0 visits peers
+/// 1, 2, 3, 1 with qp_budget=2, so wiring peer 3 runs the two-sided LRU
+/// evict handshake against peer 1, and the final visit re-connects.  The
+/// caller's plan lands kills inside that window; recovery must keep every
+/// echo byte-exact and the eviction must still complete.
+void run_evict_kill_scenario(FaultPlan& plan) {
+  constexpr std::size_t kLen = 1'500;
+  ChannelConfig cfg;
+  cfg.design = Design::kBasic;
+  cfg.lazy_connect = true;
+  cfg.qp_budget = 2;
+  cfg.recovery_max_attempts = 8;
+  Fleet fleet(4, cfg, &plan);
+  std::vector<std::vector<std::byte>> echoes(4);
+  fleet.run([&](pmi::Context& ctx, Channel& ch) -> sim::Task<void> {
+    if (ctx.rank == 0) {
+      const int visits[] = {1, 2, 3, 1};
+      for (int i = 0; i < 4; ++i) {
+        const int peer = visits[i];
+        Connection& conn = ch.connection(peer);
+        const std::vector<std::byte> out = pair_msg(300 + i, peer, kLen);
+        std::vector<std::byte>& echo = echoes[static_cast<std::size_t>(i)];
+        echo.resize(kLen);
+        co_await send_all(ch, conn, out.data(), out.size());
+        co_await recv_all(ch, conn, echo.data(), echo.size());
+      }
+    } else {
+      Connection& conn = ch.connection(0);
+      const int rounds = ctx.rank == 1 ? 2 : 1;
+      for (int i = 0; i < rounds; ++i) {
+        std::vector<std::byte> buf(kLen);
+        co_await recv_all(ch, conn, buf.data(), buf.size());
+        co_await send_all(ch, conn, buf.data(), buf.size());
+      }
+    }
+  });
+  ASSERT_TRUE(fleet.all_done()) << "evict-handshake kill recovery hung";
+  const int visits[] = {1, 2, 3, 1};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(echoes[static_cast<std::size_t>(i)],
+              pair_msg(300 + i, visits[i], kLen))
+        << "visit " << i;
+  }
+  const ChannelStats st = fleet.ch[0]->stats();
+  EXPECT_GE(st.qps_evicted, 1u) << "the evict handshake never completed";
+  EXPECT_GT(plan.schedule.killed(), 0u) << "no kill landed in the window";
+}
+
+TEST(ConnectionCache, KillsOnInitiatorDuringEvictHandshakeRecover) {
+  // Non-fatal kills on the evicting side (rank 0), clustered over the WQE
+  // window where the third visit forces the LRU eviction of peer 1 and the
+  // fourth re-connects: the handshake's replay traffic keeps dying under
+  // it, and recovery must carry it through anyway.
+  FaultPlan plan;
+  for (std::uint64_t n = 5; n <= 9; ++n) plan.kill(0, n, /*fatal=*/false);
+  run_evict_kill_scenario(plan);
+}
+
+TEST(ConnectionCache, KillsOnEvictedTargetDuringEvictHandshakeRecover) {
+  // The mirror image: the kills land on the evicted peer (rank 1), from its
+  // tail-drain acknowledgement of the handshake through its half of the
+  // post-eviction reconnect exchange.
+  FaultPlan plan;
+  for (std::uint64_t n = 2; n <= 6; ++n) plan.kill(1, n, /*fatal=*/false);
+  run_evict_kill_scenario(plan);
+}
+
 // ---------------------------------------------------------------------------
 // SRQ-style shared receive pool
 // ---------------------------------------------------------------------------
