@@ -28,6 +28,7 @@ mpib_add_bench(abl_tail_update)
 mpib_add_bench(abl_threshold)
 mpib_add_bench(ext_scalability)
 mpib_add_bench(ext_onesided)
+mpib_add_bench(ext_rma)
 mpib_add_bench(ext_rdma_coll)
 mpib_add_bench(ext_multimethod)
 mpib_add_bench(nas_profile)
@@ -51,8 +52,13 @@ add_test(NAME perf.smoke.nas_fault
          COMMAND nas_fault --smoke)
 add_test(NAME perf.smoke.ext_scalability
          COMMAND ext_scalability --smoke)
+add_test(NAME perf.smoke.ext_onesided
+         COMMAND ext_onesided --smoke)
+add_test(NAME perf.smoke.ext_rma
+         COMMAND ext_rma --smoke)
 set_tests_properties(perf.smoke.abl_adaptive perf.smoke.fig13_14_ch3_vs_rdma
                      perf.smoke.abl_integrity perf.smoke.abl_multirail
                      perf.smoke.nas_fault perf.smoke.ext_scalability
+                     perf.smoke.ext_onesided perf.smoke.ext_rma
   PROPERTIES LABELS perf
              WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -81,12 +81,15 @@ Numbers measure(std::size_t msg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   benchutil::title(
       "Extension: MPI-2 one-sided over RDMA vs two-sided (per op + sync, us)");
   std::printf("%8s %10s %10s %12s\n", "size", "put", "get", "send+barrier");
-  for (std::size_t s : {std::size_t{8}, std::size_t{4096},
-                        std::size_t{64 * 1024}, std::size_t{1 << 20}}) {
+  std::vector<std::size_t> sizes{std::size_t{8}, std::size_t{4096},
+                                 std::size_t{64 * 1024}, std::size_t{1 << 20}};
+  if (smoke) sizes = {std::size_t{8}, std::size_t{4096}};
+  for (std::size_t s : sizes) {
     const Numbers n = measure(s);
     std::printf("%8s %10.2f %10.2f %12.2f\n",
                 benchutil::human_size(s).c_str(), n.put_us, n.get_us,

@@ -57,6 +57,7 @@ class IbDirectChannel : public Ch3Channel, private PacketHandler {
     rndv_write_ops_ = 0;
     rndv_write_bytes_ = 0;
   }
+  void note_rma(rdmach::RmaOp op) override { verbs_->note_rma(op); }
 
  private:
   /// Exposes the protected verbs plumbing of the slot-ring channel that

@@ -85,6 +85,11 @@ class CompletionQueue {
     return std::exchange(dropped_, {});
   }
 
+  /// The CQE-arrival trigger, for deadline-bounded consumer waits: fire it
+  /// via Simulator::call_at at the deadline so a wait_until predicate with
+  /// a time clause is re-evaluated (the wait_connected_until idiom).
+  sim::Trigger& arrival() noexcept { return arrived_; }
+
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t depth() const noexcept { return entries_.size(); }
   std::uint64_t total_completions() const noexcept { return total_; }

@@ -2,21 +2,40 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
+#include <utility>
 
 #include "ib/hca.hpp"
 #include "ib/node.hpp"
+#include "pmi/pmi.hpp"
 
 namespace mpi {
 
-Window::Window(Communicator& comm, void* base, std::size_t bytes)
-    : comm_(&comm), base_(static_cast<std::byte*>(base)), bytes_(bytes) {}
+Window::Window(Communicator& comm, void* base, std::size_t bytes,
+               const WindowConfig& cfg)
+    : comm_(&comm),
+      base_(static_cast<std::byte*>(base)),
+      bytes_(bytes),
+      cfg_(cfg) {}
 
 Window::~Window() = default;
 
 sim::Task<std::unique_ptr<Window>> Window::create(Communicator& comm,
                                                   void* base,
                                                   std::size_t bytes) {
-  auto win = std::unique_ptr<Window>(new Window(comm, base, bytes));
+  // Not a forwarding call: the config must be owned by this frame (a
+  // temporary passed by reference would dangle across the suspension).
+  auto win =
+      std::unique_ptr<Window>(new Window(comm, base, bytes, WindowConfig{}));
+  co_await win->init();
+  co_return win;
+}
+
+sim::Task<std::unique_ptr<Window>> Window::create(Communicator& comm,
+                                                  void* base,
+                                                  std::size_t bytes,
+                                                  const WindowConfig& cfg) {
+  auto win = std::unique_ptr<Window>(new Window(comm, base, bytes, cfg));
   co_await win->init();
   co_return win;
 }
@@ -40,6 +59,22 @@ sim::Task<void> Window::init() {
   mr_ = co_await pd_->register_memory(base_, bytes_, ib::kAllAccess);
   cache_ = std::make_unique<rdmach::RegCache>(*pd_, 64u << 20, true);
 
+  // Control block: accumulate lock word, CAS scratch, inbound notify
+  // counters by origin, outbound notify values by target (the flag write
+  // needs a registered, stable 8-byte source per target).
+  ctrl_.assign(2 + 2 * static_cast<std::size_t>(p), 0);
+  ctrl_mr_ = co_await pd_->register_memory(ctrl_.data(), ctrl_.size() * 8,
+                                           ib::kAllAccess);
+
+  // Inline-eager staging ring (off by default).
+  if (cfg_.inline_threshold > 0 && cfg_.inline_slots > 0) {
+    const std::size_t sb = std::max<std::size_t>(cfg_.inline_threshold, 8);
+    slab_.resize(sb * cfg_.inline_slots);
+    slab_mr_ = co_await pd_->register_memory(slab_.data(), slab_.size(),
+                                             ib::kAllAccess);
+    slot_busy_.assign(cfg_.inline_slots, 0);
+  }
+
   auto key = [this](int from, int to, const char* what) {
     return "win:" + std::to_string(win_id_) + ":" + std::to_string(from) +
            ":" + std::to_string(to) + ":" + what;
@@ -54,6 +89,9 @@ sim::Task<void> Window::init() {
   }
   kvs.put_u64(key(me, -1, "addr"), reinterpret_cast<std::uint64_t>(base_));
   kvs.put_u64(key(me, -1, "rkey"), mr_->rkey());
+  kvs.put_u64(key(me, -1, "caddr"),
+              reinterpret_cast<std::uint64_t>(ctrl_.data()));
+  kvs.put_u64(key(me, -1, "ckey"), ctrl_mr_->rkey());
 
   for (int r = 0; r < p; ++r) {
     if (r == me) continue;
@@ -61,6 +99,9 @@ sim::Task<void> Window::init() {
     peer.raddr = co_await kvs.get_u64(key(r, -1, "addr"));
     peer.rkey =
         static_cast<std::uint32_t>(co_await kvs.get_u64(key(r, -1, "rkey")));
+    peer.ctrl_raddr = co_await kvs.get_u64(key(r, -1, "caddr"));
+    peer.ctrl_rkey =
+        static_cast<std::uint32_t>(co_await kvs.get_u64(key(r, -1, "ckey")));
     if (me < r) {
       const auto peer_qpn = static_cast<std::uint32_t>(
           co_await kvs.get_u64(key(r, me, "qpn")));
@@ -76,26 +117,77 @@ std::uint64_t& Window::win_seq_counter() {
   return counter;
 }
 
-void Window::drain_cq() {
-  while (auto wc = cq_->poll()) completed_[wc->wr_id] = *wc;
+// ---- issue ------------------------------------------------------------------
+
+ib::SendWr Window::build_wr(std::uint64_t wr_id, const OpRecord& rec) const {
+  ib::SendWr wr;
+  wr.wr_id = wr_id;
+  wr.opcode = rec.op;
+  wr.remote_addr = rec.remote_addr;
+  wr.rkey = rec.rkey;
+  wr.signaled = true;
+  wr.atomic_arg = rec.atomic_arg;
+  wr.atomic_swap = rec.atomic_swap;
+  wr.sgl = {ib::Sge{rec.local, rec.len, rec.lkey}};
+  return wr;
 }
 
-sim::Task<ib::Wc> Window::await_wc(std::uint64_t wr_id) {
-  for (;;) {
-    drain_cq();
-    auto it = completed_.find(wr_id);
-    if (it != completed_.end()) {
-      ib::Wc wc = it->second;
-      completed_.erase(it);
-      if (wc.status != ib::WcStatus::kSuccess) {
-        throw MpiError(std::string("one-sided operation failed: ") +
-                       ib::to_string(wc.status));
-      }
-      co_return wc;
+std::uint64_t Window::post_op(OpRecord rec) {
+  Peer& peer = peers_.at(static_cast<std::size_t>(rec.target));
+  const std::uint64_t wr_id = ++wr_seq_;
+  peer.qp->post_send(build_wr(wr_id, rec));
+  ++peer.outstanding;
+  journal_.emplace(wr_id, std::move(rec));
+  return wr_id;
+}
+
+int Window::alloc_inline_slot() {
+  for (std::size_t i = 0; i < slot_busy_.size(); ++i) {
+    if (slot_busy_[i] == 0) {
+      slot_busy_[i] = 1;
+      return static_cast<int>(i);
     }
-    co_await cq_->wait_nonempty();
+  }
+  return -1;
+}
+
+sim::Task<ib::Wc> Window::rma_sync(OpRecord rec) {
+  const int target = rec.target;
+  sim::Simulator& sim = comm_->engine().ctx().sim();
+  for (;;) {
+    const std::uint64_t id = ++wr_seq_;
+    sync_wait_id_ = id;
+    sync_wc_.reset();
+    peers_.at(static_cast<std::size_t>(target)).qp->post_send(
+        build_wr(id, rec));
+    sim::Tick deadline = arm_deadline();
+    std::optional<ib::Wc> got;
+    for (;;) {
+      drain_cq();
+      if (sync_wc_ && sync_wc_->wr_id == id) {
+        got = *sync_wc_;
+        sync_wc_.reset();
+        break;
+      }
+      if (progress_) {
+        progress_ = false;
+        deadline = arm_deadline();
+      } else if (deadline != 0 && sim.now() >= deadline) {
+        sync_wait_id_ = 0;
+        throw_dead(target, "window:watchdog:sync");
+      }
+      co_await wait_cq_until(deadline);
+    }
+    sync_wait_id_ = 0;
+    if (got->status == ib::WcStatus::kSuccess) {
+      peers_[static_cast<std::size_t>(target)].attempts = 0;
+      co_return *got;
+    }
+    co_await recover(target);  // throws when the target is beyond recovery
   }
 }
+
+// ---- data ops ---------------------------------------------------------------
 
 void Window::check_range(int target, std::size_t disp,
                          std::size_t len) const {
@@ -105,128 +197,507 @@ void Window::check_range(int target, std::size_t disp,
   }
 }
 
-std::uint64_t Window::post_rma(int target, ib::Opcode op, void* local,
-                               std::size_t len, std::size_t disp,
-                               std::uint64_t atomic_arg,
-                               std::uint64_t atomic_swap) {
-  Peer& peer = peers_.at(static_cast<std::size_t>(target));
-  const std::uint64_t wr_id = ++wr_seq_;
-  ib::SendWr wr;
-  wr.wr_id = wr_id;
-  wr.opcode = op;
-  wr.remote_addr = peer.raddr + disp;
-  wr.rkey = peer.rkey;
-  wr.signaled = true;
-  wr.atomic_arg = atomic_arg;
-  wr.atomic_swap = atomic_swap;
-  // The SGE lkey is filled by the caller via pinned_ registration.
-  wr.sgl = {ib::Sge{static_cast<std::byte*>(local), len,
-                    pinned_.back().second->lkey()}};
-  peer.qp->post_send(std::move(wr));
-  pending_.push_back(wr_id);
-  return wr_id;
-}
-
 sim::Task<void> Window::put(const void* origin, int count, Datatype d,
                             int target, std::size_t disp) {
   const std::size_t len = static_cast<std::size_t>(count) * datatype_size(d);
   check_range(target, disp, len);
+  ++stats_.puts;
+  note_rma(rdmach::RmaOp::kPut);
   if (target == comm_->rank()) {
     co_await comm_->engine().ctx().node->copy(base_ + disp, origin, len);
     co_return;
   }
+  ft_entry(target);
+  Peer& peer = peers_[static_cast<std::size_t>(target)];
+  if (cfg_.inline_threshold > 0 && len <= cfg_.inline_threshold) {
+    const int slot = alloc_inline_slot();
+    if (slot >= 0) {
+      const std::size_t sb = std::max<std::size_t>(cfg_.inline_threshold, 8);
+      std::byte* stage = slab_.data() + static_cast<std::size_t>(slot) * sb;
+      co_await comm_->engine().ctx().node->copy(stage, origin, len);
+      OpRecord rec;
+      rec.target = target;
+      rec.op = ib::Opcode::kRdmaWrite;
+      rec.local = stage;
+      rec.len = len;
+      rec.remote_addr = peer.raddr + disp;
+      rec.rkey = peer.rkey;
+      rec.lkey = slab_mr_->lkey();
+      rec.inline_slot = slot;
+      ++stats_.inline_puts;
+      post_op(std::move(rec));
+      co_return;
+    }
+  }
   ib::MemoryRegion* mr = co_await cache_->acquire(origin, len);
-  pinned_.emplace_back(wr_seq_ + 1, mr);
-  post_rma(target, ib::Opcode::kRdmaWrite, const_cast<void*>(origin), len,
-           disp);
+  OpRecord rec;
+  rec.target = target;
+  rec.op = ib::Opcode::kRdmaWrite;
+  rec.local = static_cast<std::byte*>(const_cast<void*>(origin));
+  rec.len = len;
+  rec.remote_addr = peer.raddr + disp;
+  rec.rkey = peer.rkey;
+  rec.lkey = mr->lkey();
+  rec.mr = mr;
+  post_op(std::move(rec));
 }
 
 sim::Task<void> Window::get(void* origin, int count, Datatype d, int target,
                             std::size_t disp) {
   const std::size_t len = static_cast<std::size_t>(count) * datatype_size(d);
   check_range(target, disp, len);
+  ++stats_.gets;
+  note_rma(rdmach::RmaOp::kGet);
   if (target == comm_->rank()) {
     co_await comm_->engine().ctx().node->copy(origin, base_ + disp, len);
     co_return;
   }
+  ft_entry(target);
+  Peer& peer = peers_[static_cast<std::size_t>(target)];
   ib::MemoryRegion* mr = co_await cache_->acquire(origin, len);
-  pinned_.emplace_back(wr_seq_ + 1, mr);
-  post_rma(target, ib::Opcode::kRdmaRead, origin, len, disp);
+  OpRecord rec;
+  rec.target = target;
+  rec.op = ib::Opcode::kRdmaRead;
+  rec.local = static_cast<std::byte*>(origin);
+  rec.len = len;
+  rec.remote_addr = peer.raddr + disp;
+  rec.rkey = peer.rkey;
+  rec.lkey = mr->lkey();
+  rec.mr = mr;
+  post_op(std::move(rec));
+}
+
+sim::Task<void> Window::put_notify(const void* origin, int count, Datatype d,
+                                   int target, std::size_t disp) {
+  co_await put(origin, count, d, target, disp);
+  const int me = comm_->rank();
+  if (target == me) {
+    ctrl_[2 + static_cast<std::size_t>(me)] += 1;
+    co_return;
+  }
+  Peer& peer = peers_[static_cast<std::size_t>(target)];
+  ++peer.notify_out;
+  // The flag travels on the same QP *after* the data; RC in-order delivery
+  // makes it visible only once the data landed.  The value is an absolute
+  // sequence number, so replay after recovery is idempotent.
+  const std::size_t out_slot = 2 + peers_.size() + static_cast<std::size_t>(target);
+  ctrl_[out_slot] = peer.notify_out;
+  OpRecord rec;
+  rec.target = target;
+  rec.op = ib::Opcode::kRdmaWrite;
+  rec.local = reinterpret_cast<std::byte*>(&ctrl_[out_slot]);
+  rec.len = 8;
+  rec.remote_addr = peer.ctrl_raddr + (2 + static_cast<std::size_t>(me)) * 8;
+  rec.rkey = peer.ctrl_rkey;
+  rec.lkey = ctrl_mr_->lkey();
+  post_op(std::move(rec));
+}
+
+sim::Task<void> Window::wait_notify(int origin, std::uint64_t count) {
+  // Inbound flag writes land in ctrl_ and fire this node's dma_arrival.
+  sim::Trigger& t = comm_->engine().ctx().node->dma_arrival();
+  co_await sim::wait_until(t, [this, origin, count] {
+    return ctrl_[2 + static_cast<std::size_t>(origin)] >= count;
+  });
+}
+
+std::uint64_t Window::notify_count(int origin) const {
+  return ctrl_[2 + static_cast<std::size_t>(origin)];
 }
 
 sim::Task<void> Window::accumulate(const void* origin, int count, Datatype d,
                                    Op op, int target, std::size_t disp) {
   const std::size_t len = static_cast<std::size_t>(count) * datatype_size(d);
   check_range(target, disp, len);
+  ++stats_.atomics;
+  note_rma(rdmach::RmaOp::kAtomic);
   if (target == comm_->rank()) {
+    // Participate in the same lock protocol as remote origins.  A remote
+    // RMW holds our lock word across its read/modify/write; this local
+    // check-and-apply runs in one coroutine step (no suspension), so once
+    // the word reads free the update is atomic with the check.
+    sim::Simulator& lsim = comm_->engine().ctx().sim();
+    const sim::Tick ldeadline = arm_deadline();
+    while (ctrl_[0] != 0) {
+      ++stats_.lock_spins;
+      if (ldeadline != 0 && lsim.now() >= ldeadline) {
+        throw rdmach::ChannelError(
+            target, "accumulate: window RMW lock never released",
+            rdmach::ChannelError::kDead);
+      }
+      co_await lsim.delay(sim::usec(1));
+    }
     apply_op(op, d, origin, base_ + disp, count);
     co_return;
   }
-  // Read-modify-write emulation: fetch the target range, combine locally,
-  // write it back -- fully synchronous so the epoch restriction is the
-  // only correctness caveat.
+  ft_entry(target);
+  Peer& peer = peers_[static_cast<std::size_t>(target)];
+  sim::Simulator& sim = comm_->engine().ctx().sim();
+  const std::uint64_t my_tag = static_cast<std::uint64_t>(comm_->rank()) + 1;
+
+  // Acquire the target's window RMW lock: HCA compare-and-swap on the
+  // control block's lock word serializes conflicting accumulates from any
+  // set of origins (this is what makes the old racy read-modify-write
+  // emulation safe).
+  const sim::Tick deadline = arm_deadline();
+  for (;;) {
+    OpRecord cas;
+    cas.target = target;
+    cas.op = ib::Opcode::kCompareSwap;
+    cas.local = reinterpret_cast<std::byte*>(&ctrl_[1]);
+    cas.len = 8;
+    cas.remote_addr = peer.ctrl_raddr;
+    cas.rkey = peer.ctrl_rkey;
+    cas.lkey = ctrl_mr_->lkey();
+    cas.atomic_arg = 0;
+    cas.atomic_swap = my_tag;
+    (void)co_await rma_sync(std::move(cas));
+    if (ctrl_[1] == 0) break;  // prior value was "free": lock is ours
+    ++stats_.lock_spins;
+    if (deadline != 0 && sim.now() >= deadline) {
+      throw rdmach::ChannelError(
+          target, "accumulate: window RMW lock never released",
+          rdmach::ChannelError::kDead);
+    }
+    co_await sim.delay(sim::usec(1));  // deterministic retry pacing
+  }
+
+  // Read-modify-write under the lock.
   std::vector<std::byte> tmp(len);
   ib::MemoryRegion* mr = co_await cache_->acquire(tmp.data(), len);
-  pinned_.emplace_back(wr_seq_ + 1, mr);
-  const std::uint64_t rd = post_rma(target, ib::Opcode::kRdmaRead, tmp.data(),
-                                    len, disp);
-  (void)co_await await_wc(rd);
+  OpRecord rd;
+  rd.target = target;
+  rd.op = ib::Opcode::kRdmaRead;
+  rd.local = tmp.data();
+  rd.len = len;
+  rd.remote_addr = peer.raddr + disp;
+  rd.rkey = peer.rkey;
+  rd.lkey = mr->lkey();
+  (void)co_await rma_sync(std::move(rd));
   apply_op(op, d, origin, tmp.data(), count);
-  pinned_.emplace_back(wr_seq_ + 1, mr);
-  const std::uint64_t wr = post_rma(target, ib::Opcode::kRdmaWrite,
-                                    tmp.data(), len, disp);
-  (void)co_await await_wc(wr);
-  // tmp dies here: both operations completed, safe to unpin.
+  OpRecord wb;
+  wb.target = target;
+  wb.op = ib::Opcode::kRdmaWrite;
+  wb.local = tmp.data();
+  wb.len = len;
+  wb.remote_addr = peer.raddr + disp;
+  wb.rkey = peer.rkey;
+  wb.lkey = mr->lkey();
+  (void)co_await rma_sync(std::move(wb));
   co_await cache_->release(mr);
-  co_await cache_->release(mr);
-  pending_.erase(std::remove(pending_.begin(), pending_.end(), rd),
-                 pending_.end());
-  pending_.erase(std::remove(pending_.begin(), pending_.end(), wr),
-                 pending_.end());
-  pinned_.erase(std::remove_if(pinned_.begin(), pinned_.end(),
-                               [mr](const auto& p) { return p.second == mr; }),
-                pinned_.end());
+
+  // Release the lock: only the holder writes it, so a plain RDMA write of
+  // zero suffices (and is idempotent under replay).
+  ctrl_[1] = 0;
+  OpRecord unlock;
+  unlock.target = target;
+  unlock.op = ib::Opcode::kRdmaWrite;
+  unlock.local = reinterpret_cast<std::byte*>(&ctrl_[1]);
+  unlock.len = 8;
+  unlock.remote_addr = peer.ctrl_raddr;
+  unlock.rkey = peer.ctrl_rkey;
+  unlock.lkey = ctrl_mr_->lkey();
+  (void)co_await rma_sync(std::move(unlock));
 }
 
 sim::Task<std::int64_t> Window::fetch_add(int target, std::size_t disp,
                                           std::int64_t value) {
   check_range(target, disp, 8);
+  ++stats_.atomics;
+  note_rma(rdmach::RmaOp::kAtomic);
   if (target == comm_->rank()) {
     auto* p = reinterpret_cast<std::int64_t*>(base_ + disp);
     const std::int64_t old = *p;
     *p += value;
     co_return old;
   }
+  ft_entry(target);
+  Peer& peer = peers_[static_cast<std::size_t>(target)];
   std::uint64_t old = 0;
   ib::MemoryRegion* mr = co_await cache_->acquire(&old, 8);
-  pinned_.emplace_back(wr_seq_ + 1, mr);
-  const std::uint64_t id =
-      post_rma(target, ib::Opcode::kFetchAdd, &old, 8, disp,
-               static_cast<std::uint64_t>(value));
-  (void)co_await await_wc(id);
+  OpRecord rec;
+  rec.target = target;
+  rec.op = ib::Opcode::kFetchAdd;
+  rec.local = reinterpret_cast<std::byte*>(&old);
+  rec.len = 8;
+  rec.remote_addr = peer.raddr + disp;
+  rec.rkey = peer.rkey;
+  rec.lkey = mr->lkey();
+  rec.atomic_arg = static_cast<std::uint64_t>(value);
+  (void)co_await rma_sync(std::move(rec));
   co_await cache_->release(mr);
-  pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
-                 pending_.end());
-  pinned_.erase(std::remove_if(pinned_.begin(), pinned_.end(),
-                               [mr](const auto& p) { return p.second == mr; }),
-                pinned_.end());
   co_return static_cast<std::int64_t>(old);
+}
+
+// ---- completion / recovery --------------------------------------------------
+
+void Window::process_wc(const ib::Wc& wc) {
+  auto it = journal_.find(wc.wr_id);
+  if (it == journal_.end()) {
+    // Not journalled: either the rma_sync rendezvous, or a stale CQE of a
+    // journal entry that was re-keyed for replay (its original delivery is
+    // idempotent; drop it).
+    if (sync_wait_id_ != 0 && wc.wr_id == sync_wait_id_) sync_wc_ = wc;
+    return;
+  }
+  OpRecord& rec = it->second;
+  Peer& peer = peers_[static_cast<std::size_t>(rec.target)];
+  if (wc.status == ib::WcStatus::kSuccess) {
+    if (rec.mr != nullptr) release_q_.push_back(rec.mr);
+    if (rec.inline_slot >= 0) slot_busy_[static_cast<std::size_t>(rec.inline_slot)] = 0;
+    if (peer.outstanding > 0) --peer.outstanding;
+    peer.attempts = 0;  // completion progress re-arms the retry budget
+    progress_ = true;
+    journal_.erase(it);
+  } else {
+    peer.failed = true;
+  }
+}
+
+void Window::drain_cq() {
+  while (auto wc = cq_->poll()) process_wc(*wc);
+  if (cq_->overrun()) {
+    for (const ib::Wc& wc : cq_->rearm()) process_wc(wc);
+  }
+}
+
+sim::Tick Window::arm_deadline() const {
+  if (cfg_.flush_deadline == 0) return 0;
+  return comm_->engine().ctx().sim().now() + cfg_.flush_deadline;
+}
+
+sim::Task<void> Window::wait_cq_until(sim::Tick deadline) {
+  if (deadline == 0) {
+    co_await cq_->wait_nonempty();
+    co_return;
+  }
+  sim::Simulator& sim = comm_->engine().ctx().sim();
+  if (sim.now() >= deadline) co_return;
+  if (armed_deadline_ != deadline) {
+    // One wakeup event per distinct deadline: fire the CQ trigger so the
+    // predicate's time clause is re-evaluated (the wait_connected_until
+    // idiom).  Firing a trigger with no waiters is a no-op, so stray
+    // wakeups after the epoch completes cost nothing.
+    armed_deadline_ = deadline;
+    sim::Trigger* t = &cq_->arrival();
+    sim.call_at(deadline, [t] { t->fire(); });
+  }
+  co_await sim::wait_until(cq_->arrival(), [this, deadline, &sim] {
+    return !cq_->empty() || cq_->overrun() || sim.now() >= deadline;
+  });
+}
+
+sim::Task<void> Window::drain_target(int target) {
+  sim::Simulator& sim = comm_->engine().ctx().sim();
+  auto remaining = [this, target]() -> std::uint64_t {
+    if (target >= 0) return peers_[static_cast<std::size_t>(target)].outstanding;
+    std::uint64_t n = 0;
+    for (const Peer& p : peers_) n += p.outstanding;
+    return n;
+  };
+  auto next_failed = [this, target]() -> int {
+    for (int r = 0; r < static_cast<int>(peers_.size()); ++r) {
+      if (!peers_[static_cast<std::size_t>(r)].failed) continue;
+      if (target < 0 || r == target) return r;
+    }
+    return -1;
+  };
+  auto first_outstanding = [this]() -> int {
+    for (int r = 0; r < static_cast<int>(peers_.size()); ++r) {
+      if (peers_[static_cast<std::size_t>(r)].outstanding > 0) return r;
+    }
+    return -1;
+  };
+  sim::Tick deadline = arm_deadline();
+  for (;;) {
+    drain_cq();
+    for (int r = next_failed(); r != -1; r = next_failed()) {
+      co_await recover(r);
+      drain_cq();
+      deadline = arm_deadline();
+    }
+    if (remaining() == 0) co_return;
+    if (progress_) {
+      progress_ = false;
+      deadline = arm_deadline();
+    } else if (deadline != 0 && sim.now() >= deadline) {
+      throw_dead(target >= 0 ? target : first_outstanding(),
+                 "window:watchdog:flush");
+    }
+    co_await wait_cq_until(deadline);
+  }
+}
+
+sim::Task<void> Window::recover(int target) {
+  Peer& peer = peers_[static_cast<std::size_t>(target)];
+  peer.failed = false;
+  Engine& eng = comm_->engine();
+  pmi::Context& pctx = eng.ctx();
+  pmi::Kvs& kvs = *pctx.kvs;
+  const int wr = comm_->world_rank(target);
+
+  // Obituary board first: someone else may already have convicted the
+  // target, in which case burning our own budget is pointless.
+  if (eng.ft_armed() && kvs.obit_version() != 0 && kvs.is_dead(wr)) {
+    abandon_target(target);
+    ++stats_.obit_fast_fails;
+    throw ProcFailedError(wr, "one-sided peer (world rank " +
+                                  std::to_string(wr) +
+                                  ") has a published obituary");
+  }
+
+  ++peer.attempts;
+  if (peer.attempts > cfg_.recovery_max_attempts) {
+    abandon_target(target);
+    if (eng.ft_armed()) {
+      if (kvs.post_obit(wr)) pmi::wake_all_ranks(pctx);
+      throw ProcFailedError(wr, "one-sided retry budget exhausted toward "
+                                "world rank " +
+                                    std::to_string(wr));
+    }
+    throw_dead(target, "window:retry-budget");
+  }
+
+  sim::Tick backoff = cfg_.recovery_backoff;
+  for (int i = 1; i < peer.attempts; ++i) {
+    backoff = std::min<sim::Tick>(backoff * 2, cfg_.recovery_backoff_cap);
+  }
+  co_await pctx.sim().delay(backoff);
+
+  // Tear the QP down, wait until nothing of it can touch memory later,
+  // then consume its flushed CQEs so they cannot alias the replay.
+  peer.qp->close();
+  co_await peer.qp->quiesce();
+  drain_cq();
+  peer.failed = false;  // the drained error CQEs are what we are recovering
+  peer.qp->reset();
+
+  // Replay the target's journal in original post order under fresh wr_ids.
+  // Safe: a killed WQE never reached the responder, and everything
+  // journalled (puts, gets, absolute-value notify flags) is idempotent
+  // even if its original delivery did land and only the CQE was lost.
+  std::vector<OpRecord> replays;
+  for (auto it = journal_.begin(); it != journal_.end();) {
+    if (it->second.target == target) {
+      replays.push_back(std::move(it->second));
+      it = journal_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  peer.outstanding -= std::min<std::uint64_t>(peer.outstanding,
+                                              replays.size());
+  for (OpRecord& rec : replays) {
+    ++stats_.replays;
+    stats_.replayed_bytes += rec.len;
+    post_op(std::move(rec));
+  }
+  ++stats_.recoveries;
+  progress_ = true;  // a completed reset counts as episode progress
+}
+
+void Window::abandon_target(int target) {
+  Peer& peer = peers_[static_cast<std::size_t>(target)];
+  for (auto it = journal_.begin(); it != journal_.end();) {
+    if (it->second.target != target) {
+      ++it;
+      continue;
+    }
+    if (it->second.mr != nullptr) release_q_.push_back(it->second.mr);
+    if (it->second.inline_slot >= 0) {
+      slot_busy_[static_cast<std::size_t>(it->second.inline_slot)] = 0;
+    }
+    it = journal_.erase(it);
+  }
+  peer.outstanding = 0;
+  peer.failed = false;
+}
+
+sim::Task<void> Window::drain_releases() {
+  // FIFO so RegCache sees releases in pin order (matches the historical
+  // fence teardown).
+  std::size_t i = 0;
+  while (i < release_q_.size()) {
+    ib::MemoryRegion* mr = release_q_[i++];
+    co_await cache_->release(mr);
+  }
+  release_q_.clear();
+}
+
+void Window::throw_dead(int target, const char* stage) {
+  rdmach::RecoverySnapshot snap;
+  snap.stage = stage;
+  snap.epoch = stats_.recoveries;
+  if (target >= 0) {
+    const Peer& peer = peers_[static_cast<std::size_t>(target)];
+    snap.attempts = peer.attempts;
+    snap.journal_outstanding = peer.outstanding;
+  } else {
+    snap.journal_outstanding = journal_.size();
+  }
+  throw rdmach::ChannelError(
+      target, std::string("one-sided epoch gave up (") + stage + ")",
+      rdmach::ChannelError::kDead, std::move(snap));
+}
+
+// ---- epochs -----------------------------------------------------------------
+
+sim::Task<void> Window::flush(int target) {
+  ++stats_.flushes;
+  note_rma(rdmach::RmaOp::kFlush);
+  if (target == comm_->rank()) co_return;  // self ops complete synchronously
+  ft_entry(target);
+  co_await drain_target(target);
+  co_await drain_releases();
+}
+
+sim::Task<void> Window::flush_all() {
+  ++stats_.flushes;
+  note_rma(rdmach::RmaOp::kFlush);
+  for (int r = 0; r < static_cast<int>(peers_.size()); ++r) {
+    if (peers_[static_cast<std::size_t>(r)].outstanding > 0) ft_entry(r);
+  }
+  co_await drain_target(-1);
+  co_await drain_releases();
+}
+
+sim::Task<void> Window::flush_local(int target) { return flush(target); }
+
+sim::Task<void> Window::flush_local_all() { return flush_all(); }
+
+sim::Task<void> Window::unlock_all() {
+  co_await flush_all();
+  locked_all_ = false;
 }
 
 sim::Task<void> Window::fence() {
   // Local completion of everything issued this epoch...
-  for (std::uint64_t id : pending_) {
-    (void)co_await await_wc(id);
-  }
-  pending_.clear();
-  for (auto& [id, mr] : pinned_) {
-    co_await cache_->release(mr);
-  }
-  pinned_.clear();
+  co_await drain_target(-1);
+  co_await drain_releases();
   // ...then the collective epoch boundary.  RC ordering means a write
   // whose CQE we have seen is already visible at the target, so the
   // barrier is sufficient for the fence semantics.
   co_await comm_->barrier();
+}
+
+// ---- fault-tolerance entry checks -------------------------------------------
+
+void Window::ft_entry(int target) {
+  Engine& eng = comm_->engine();
+  if (!eng.ft_armed()) return;
+  pmi::Kvs& kvs = *eng.ctx().kvs;
+  if (kvs.obit_version() == 0) return;
+  const int wr = comm_->world_rank(target);
+  if (kvs.is_dead(wr)) {
+    ++stats_.obit_fast_fails;
+    throw ProcFailedError(
+        wr, "one-sided operation toward dead rank (world " +
+                std::to_string(wr) + ")");
+  }
+}
+
+void Window::note_rma(rdmach::RmaOp op) {
+  comm_->engine().channel().note_rma(op);
 }
 
 }  // namespace mpi

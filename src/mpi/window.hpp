@@ -1,28 +1,61 @@
-// MPI-2 one-sided communication over RDMA -- the paper's stated future
+// MPI one-sided communication over RDMA -- the paper's stated future
 // work ("provide support for MPI-2 functionalities such as one-sided
 // communication using RDMA and atomic operations in InfiniBand",
-// section 9), built exactly the way the paper anticipates: puts and gets
-// map 1:1 onto RDMA writes and reads against the exposed window memory,
-// fetch_add maps onto the InfiniBand atomic, and active-target
-// synchronization (fence) is a completion drain plus a barrier.
+// section 9), grown in the foMPI direction (Gerstenberger et al.): puts
+// and gets map 1:1 onto RDMA writes and reads against the exposed window
+// memory, completion is epoch-scoped and per-target instead of
+// collective, and synchronization never involves the target CPU.
 //
-// Supported subset and semantics:
-//   * create()    -- collective; registers the window memory and builds a
-//                    dedicated QP mesh (one-sided traffic does not touch
-//                    the two-sided channel at all).
-//   * put/get     -- nonblocking RMA; complete at the next fence().
-//   * accumulate  -- read-modify-write emulation (RDMA read, local op,
-//                    RDMA write).  Because the target CPU is not involved,
-//                    concurrent conflicting accumulates to the same
-//                    location from *different* origins within one epoch
-//                    are not supported (documented restriction).
-//   * fetch_add   -- genuinely atomic 64-bit fetch-and-add via the HCA.
-//   * fence()     -- closes the epoch: waits for local completions of all
-//                    issued RMA, then synchronizes the communicator.
+// Supported surface and semantics:
+//   * create()     -- collective; registers the window memory and builds a
+//                     dedicated QP mesh (one-sided traffic does not touch
+//                     the two-sided channel at all).  A small registered
+//                     control block per rank carries the accumulate lock
+//                     word and the notified-access counters.
+//   * put/get      -- nonblocking RMA; complete at the next flush of the
+//                     target (or fence).  Puts at or below
+//                     WindowConfig::inline_threshold are *inline-eager*:
+//                     the payload is staged into a pre-registered ring at
+//                     post time, so the origin buffer is immediately
+//                     reusable; larger transfers are zero-copy over
+//                     RegCache-registered user memory.
+//   * put_notify   -- put plus an 8-byte remote completion-flag write on
+//                     the same QP: RC in-order delivery makes the flag
+//                     visible only after the data, so wait_notify() gives
+//                     producer/consumer pairs a poll-free handshake.
+//   * accumulate   -- serialized remote read-modify-write: a per-window
+//                     HCA compare-and-swap lock at the target orders
+//                     conflicting accumulates from different origins, so
+//                     concurrent kSum/kMax/... updates are no longer lost
+//                     (the historical racy RMW emulation is gone).
+//   * fetch_add    -- genuinely atomic 64-bit fetch-and-add via the HCA.
+//   * fence()      -- active-target compatibility path: drains all
+//                     outstanding RMA, then a collective barrier.
+//   * lock_all()/unlock_all(), flush(t)/flush_all()/flush_local*() --
+//                     passive-target epochs: flush completes this origin's
+//                     outstanding RDMA toward the target over the window
+//                     CQ -- no barrier, no target involvement.  In this RC
+//                     model a local write CQE implies remote placement, so
+//                     flush_local shares flush's implementation (kept as a
+//                     distinct call because its *contract* is weaker).
+//
+// Recovery composition: every async op is journalled until its CQE
+// retires it.  A flush that observes an error CQE tears the affected QP
+// down (close/quiesce/reset -- the peer binding survives, no re-handshake
+// needed) and replays that target's journal in order under a bounded
+// attempt budget with exponential backoff.  Replay is exact here: a
+// killed WQE never reached the responder, and notify flags write absolute
+// sequence numbers.  Budget exhaustion raises ChannelError (kDead) --
+// or, with the channel's ft_detector armed, convicts the target on the
+// obituary board and raises ProcFailedError; subsequent RMA entry paths
+// toward a convicted rank fail fast off the board.  A watchdog deadline
+// bounds every wait, so a flush spanning a fault storm errors instead of
+// hanging.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 #include "ib/cq.hpp"
@@ -33,27 +66,70 @@
 
 namespace mpi {
 
+/// Per-window knobs.  The defaults keep the historical verbs sequence for
+/// every pre-existing call (inline-eager off), so fence-only users are
+/// trace-bit-identical to the pre-epoch implementation.
+struct WindowConfig {
+  /// Puts of at most this many bytes are copied into the window's
+  /// registered staging ring at post time (origin buffer immediately
+  /// reusable, no RegCache lookup).  0 disables the inline-eager path.
+  std::size_t inline_threshold = 0;
+  /// Staging-ring slots (each inline_threshold bytes, 8 minimum); when
+  /// every slot is in flight the put falls back to the zero-copy path.
+  std::size_t inline_slots = 16;
+  /// Consecutive no-progress recovery attempts on one target before the
+  /// connection is declared dead (ChannelError / ProcFailedError).
+  int recovery_max_attempts = 8;
+  /// Backoff before a recovery attempt; doubles per consecutive attempt.
+  sim::Tick recovery_backoff = sim::usec(20);
+  sim::Tick recovery_backoff_cap = sim::usec(2000);
+  /// Watchdog: virtual-time budget for one drain/lock episode with no
+  /// completion progress; expiry raises ChannelError instead of hanging.
+  /// 0 disables the watchdog.
+  sim::Tick flush_deadline = sim::usec(50'000);
+};
+
 class Window {
  public:
   /// Collective over `comm`: every rank exposes [base, base+bytes).
   static sim::Task<std::unique_ptr<Window>> create(Communicator& comm,
                                                    void* base,
                                                    std::size_t bytes);
+  static sim::Task<std::unique_ptr<Window>> create(Communicator& comm,
+                                                   void* base,
+                                                   std::size_t bytes,
+                                                   const WindowConfig& cfg);
 
   ~Window();
   Window(const Window&) = delete;
   Window& operator=(const Window&) = delete;
 
   /// RDMA-writes `count` elements into target's window at byte
-  /// displacement `disp`.  Origin buffer must stay valid until fence().
+  /// displacement `disp`.  With the inline-eager path off or the payload
+  /// above the threshold, the origin buffer must stay valid until the op
+  /// completes (flush of that target, or fence).
   sim::Task<void> put(const void* origin, int count, Datatype d, int target,
                       std::size_t disp);
+
+  /// put plus a remote notify-counter bump the target can wait_notify()
+  /// on; the flag travels on the same QP after the data, so observing it
+  /// implies the data landed.
+  sim::Task<void> put_notify(const void* origin, int count, Datatype d,
+                             int target, std::size_t disp);
+
+  /// Blocks until `origin` has posted at least `count` put_notify()s
+  /// toward this rank's window over its lifetime.
+  sim::Task<void> wait_notify(int origin, std::uint64_t count);
+
+  /// Notifies received from `origin` so far.
+  std::uint64_t notify_count(int origin) const;
 
   /// RDMA-reads from the target's window into `origin`.
   sim::Task<void> get(void* origin, int count, Datatype d, int target,
                       std::size_t disp);
 
-  /// Read-modify-write accumulate (see restriction in the header comment).
+  /// Serialized remote read-modify-write (see header comment): safe under
+  /// concurrent conflicting accumulates from any set of origins.
   sim::Task<void> accumulate(const void* origin, int count, Datatype d, Op op,
                              int target, std::size_t disp);
 
@@ -62,14 +138,49 @@ class Window {
   sim::Task<std::int64_t> fetch_add(int target, std::size_t disp,
                                     std::int64_t value);
 
-  /// Active-target epoch boundary.
+  // ---- passive-target epochs ----------------------------------------------
+  /// Opens a passive-target access epoch toward every member.  Purely
+  /// local (RC QPs are permanently ready); kept for MPI shape.
+  void lock_all() { locked_all_ = true; }
+  /// Closes the epoch: flush_all(), then the epoch mark drops.
+  sim::Task<void> unlock_all();
+  /// Completes every outstanding RMA this origin has issued toward
+  /// `target` -- no barrier, no target involvement.
+  sim::Task<void> flush(int target);
+  sim::Task<void> flush_all();
+  /// Local-completion flush: in this RC model a local CQE implies remote
+  /// placement, so these share flush's implementation; the weaker MPI
+  /// contract (origin buffers reusable, data not necessarily visible) is
+  /// what callers should rely on.
+  sim::Task<void> flush_local(int target);
+  sim::Task<void> flush_local_all();
+  bool locked_all() const noexcept { return locked_all_; }
+
+  /// Active-target epoch boundary: drain everything, then barrier.
   sim::Task<void> fence();
 
   Communicator& comm() const noexcept { return *comm_; }
   std::size_t size_bytes() const noexcept { return bytes_; }
+  const WindowConfig& config() const noexcept { return cfg_; }
+
+  /// Window-local observability (tests and benches).
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t inline_puts = 0;    // staged through the inline ring
+    std::uint64_t replays = 0;        // journal entries re-posted
+    std::uint64_t replayed_bytes = 0;
+    std::uint64_t recoveries = 0;     // QP reset cycles completed
+    std::uint64_t lock_spins = 0;     // accumulate CAS retries
+    std::uint64_t obit_fast_fails = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
 
  private:
-  Window(Communicator& comm, void* base, std::size_t bytes);
+  Window(Communicator& comm, void* base, std::size_t bytes,
+         const WindowConfig& cfg);
 
   /// Process-wide window-creation counter; combined with an allreduce it
   /// yields an id all members agree on (create() is collective).
@@ -77,23 +188,75 @@ class Window {
 
   struct Peer {
     ib::QueuePair* qp = nullptr;
-    std::uint64_t raddr = 0;
+    std::uint64_t raddr = 0;       // window base
     std::uint32_t rkey = 0;
+    std::uint64_t ctrl_raddr = 0;  // control block (lock + notify slots)
+    std::uint32_t ctrl_rkey = 0;
+    std::uint64_t outstanding = 0;  // journalled ops not yet retired
+    std::uint64_t notify_out = 0;   // notifies sent toward this target
+    bool failed = false;            // error CQE seen; recovery pending
+    int attempts = 0;               // consecutive no-progress recoveries
+  };
+
+  /// Journalled async operation: everything needed to rebuild its WQE for
+  /// replay, plus the resources to release when its CQE retires it.
+  struct OpRecord {
+    int target = -1;
+    ib::Opcode op = ib::Opcode::kRdmaWrite;
+    std::byte* local = nullptr;
+    std::size_t len = 0;
+    std::uint64_t remote_addr = 0;
+    std::uint32_t rkey = 0;
+    std::uint32_t lkey = 0;
+    std::uint64_t atomic_arg = 0;
+    std::uint64_t atomic_swap = 0;
+    ib::MemoryRegion* mr = nullptr;  // RegCache pin, released at retire
+    int inline_slot = -1;            // staging slot, freed at retire
   };
 
   sim::Task<void> init();
-  sim::Task<ib::Wc> await_wc(std::uint64_t wr_id);
+
+  // ---- issue ----------------------------------------------------------------
+  std::uint64_t post_op(OpRecord rec);
+  ib::SendWr build_wr(std::uint64_t wr_id, const OpRecord& rec) const;
+  /// Synchronous RMA with recovery: posts, awaits the CQE, retries through
+  /// recover() on error.  Not journalled (nothing outlives the await).
+  sim::Task<ib::Wc> rma_sync(OpRecord rec);
+  int alloc_inline_slot();
+
+  // ---- completion / recovery ------------------------------------------------
+  void process_wc(const ib::Wc& wc);
   void drain_cq();
-  std::uint64_t post_rma(int target, ib::Opcode op, void* local,
-                         std::size_t len, std::size_t disp,
-                         std::uint64_t atomic_arg = 0,
-                         std::uint64_t atomic_swap = 0);
+  /// Waits for CQ activity, bounded by `deadline` (0 = unbounded).
+  sim::Task<void> wait_cq_until(sim::Tick deadline);
+  /// Drains outstanding ops toward `target` (-1 = every target),
+  /// recovering failed QPs as needed; the watchdog bounds each wait.
+  sim::Task<void> drain_target(int target);
+  /// One recovery attempt for a failed target: budget/ft checks, backoff,
+  /// close+quiesce+reset, drain stale CQEs, replay the journal in order.
+  sim::Task<void> recover(int target);
+  /// Abandon a dead target's journal (before throwing): free slots, queue
+  /// pins for release, zero its outstanding count.
+  void abandon_target(int target);
+  sim::Task<void> drain_releases();
+  sim::Tick arm_deadline() const;
+  [[noreturn]] void throw_dead(int target, const char* stage);
+
+  // ---- fault-tolerance entry checks -----------------------------------------
+  /// Obituary fast-fail: ProcFailedError if the channel's detector is
+  /// armed and the target has a published obituary.  Pure KVS lookup, so
+  /// fault-free traces are unchanged.
+  void ft_entry(int target);
+  void note_rma(rdmach::RmaOp op);
+
   void check_range(int target, std::size_t disp, std::size_t len) const;
 
   Communicator* comm_;
   std::byte* base_;
   std::size_t bytes_;
+  WindowConfig cfg_;
   std::uint64_t win_id_ = 0;
+  bool locked_all_ = false;
 
   ib::ProtectionDomain* pd_ = nullptr;
   ib::CompletionQueue* cq_ = nullptr;
@@ -101,10 +264,29 @@ class Window {
   std::unique_ptr<rdmach::RegCache> cache_;
   std::vector<Peer> peers_;
 
+  /// Registered control block, all u64 slots:
+  ///   [0]          accumulate lock word (0 free, else owner rank + 1)
+  ///   [1]          local scratch for CAS results / lock release
+  ///   [2 .. 2+p)   notify counters, indexed by origin rank
+  ///   [2+p .. 2+2p) outgoing notify values, indexed by target rank
+  std::vector<std::uint64_t> ctrl_;
+  ib::MemoryRegion* ctrl_mr_ = nullptr;
+
+  /// Inline-eager staging ring (registered once at create).
+  std::vector<std::byte> slab_;
+  ib::MemoryRegion* slab_mr_ = nullptr;
+  std::vector<char> slot_busy_;
+
   std::uint64_t wr_seq_ = 0;
-  std::vector<std::uint64_t> pending_;  // RMA issued this epoch
-  std::unordered_map<std::uint64_t, ib::Wc> completed_;
-  std::vector<std::pair<std::uint64_t, ib::MemoryRegion*>> pinned_;
+  std::map<std::uint64_t, OpRecord> journal_;  // ordered: replay in post order
+  /// rma_sync rendezvous: the single wr_id currently awaited (one sync op
+  /// in flight per window -- the callers are sequential) and its CQE.
+  std::uint64_t sync_wait_id_ = 0;
+  std::optional<ib::Wc> sync_wc_;
+  std::vector<ib::MemoryRegion*> release_q_;
+  bool progress_ = false;          // set by process_wc on any retire
+  sim::Tick armed_deadline_ = 0;   // last deadline a wakeup was scheduled for
+  Stats stats_;
 };
 
 }  // namespace mpi

@@ -65,6 +65,10 @@ ChannelStats Channel::stats() const {
   s.rndv_write = snapshot(rndv_write_track_);
   s.rndv_read = snapshot(rndv_read_track_);
   s.eager_threshold = cfg_.zero_copy_threshold;
+  s.rma_puts = rma_puts_;
+  s.rma_gets = rma_gets_;
+  s.rma_atomics = rma_atomics_;
+  s.rma_flushes = rma_flushes_;
   return s;
 }
 
@@ -72,6 +76,10 @@ void Channel::reset_stats() {
   eager_track_ = ProtoTrack{};
   rndv_write_track_ = ProtoTrack{};
   rndv_read_track_ = ProtoTrack{};
+  rma_puts_ = 0;
+  rma_gets_ = 0;
+  rma_atomics_ = 0;
+  rma_flushes_ = 0;
 }
 
 std::string ChannelError::to_string() const {

@@ -35,8 +35,11 @@ class MultiMethodChannel : public Channel {
   Channel* net() const noexcept { return net_.get(); }
 
   /// Member-channel counters, summed (mbps: the busier member's figure).
+  /// Starts from the facade's own base counters: one-sided RMA is noted on
+  /// the channel object the engine exposes -- this one -- so the rma_*
+  /// counts live here, not in any member.
   ChannelStats stats() const override {
-    ChannelStats s;
+    ChannelStats s = Channel::stats();
     const Channel* members[] = {shm_.get(), net_.get()};
     for (const Channel* m : members) {
       if (m == nullptr) continue;
@@ -57,6 +60,10 @@ class MultiMethodChannel : public Channel {
       s.credit_stalls += t.credit_stalls;
       s.watchdog_trips += t.watchdog_trips;
       s.replayed_bytes += t.replayed_bytes;
+      s.rma_puts += t.rma_puts;
+      s.rma_gets += t.rma_gets;
+      s.rma_atomics += t.rma_atomics;
+      s.rma_flushes += t.rma_flushes;
       s.qps_created += t.qps_created;
       s.qps_evicted += t.qps_evicted;
       s.connects_on_demand += t.connects_on_demand;

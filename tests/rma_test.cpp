@@ -1,0 +1,416 @@
+// Tests for the scalable one-sided RMA engine: passive-target epochs
+// (lock_all / flush), the serialized accumulate path, notified access,
+// and the recovery composition (journal replay across a QP kill, obituary
+// fast-fail toward convicted ranks under ft_detector).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "channel_test_util.hpp"
+#include "ib/fabric.hpp"
+#include "mpi/runtime.hpp"
+#include "mpi/window.hpp"
+#include "pmi/pmi.hpp"
+
+namespace {
+
+using rdmach::testutil::FaultPlan;
+
+constexpr sim::Tick kDeadline = sim::usec(30'000'000);  // 30 virtual seconds
+
+// ---------------------------------------------------------------------------
+// Differential: one RMA program, several stacks, one oracle
+// ---------------------------------------------------------------------------
+
+/// Runs the flush/lock-all RMA program on `design` and checks every rank's
+/// final window memory against the locally computed oracle.  The window
+/// drives its own QP mesh, so the result must be identical no matter which
+/// two-sided design carries the bootstrap traffic -- including the pure
+/// shared-memory stack (all ranks on one node).
+void run_rma_program(rdmach::Design design, int ranks_per_node) {
+  constexpr int kP = 4;
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, kP, ranks_per_node};
+  mpi::RuntimeConfig cfg;
+  cfg.stack.channel.design = design;
+  int checked = 0;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, cfg);
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    const int me = world.rank();
+    const int right = (me + 1) % kP;
+    const int left = (me + kP - 1) % kP;
+    std::vector<std::int64_t> mem(64, me);
+    auto win = co_await mpi::Window::create(world, mem.data(), 64 * 8);
+    co_await win->fence();
+    win->lock_all();
+
+    // Phase 1: deposit my rank into slot `me` of my right neighbour, then
+    // complete it with a per-target flush (no barrier, no target code).
+    const std::int64_t tag = me;
+    co_await win->put(&tag, 1, mpi::Datatype::kLong, right,
+                      static_cast<std::size_t>(me) * 8);
+    co_await win->flush(right);
+    co_await world.barrier();  // order the *check*, not the completion
+    EXPECT_EQ(mem[static_cast<std::size_t>(left)], left);
+
+    // Phase 2: everyone accumulates into the SAME word of rank 0 (the
+    // serialized-RMW path) and fetch_adds the word next to it.
+    const std::int64_t contrib = me + 1;
+    co_await win->accumulate(&contrib, 1, mpi::Datatype::kLong, mpi::Op::kSum,
+                             0, 60 * 8);
+    (void)co_await win->fetch_add(0, 61 * 8, 1);
+    co_await win->flush_all();
+    co_await win->unlock_all();
+    co_await win->fence();
+    if (me == 0) {
+      EXPECT_EQ(mem[60], 0 + 1 + 2 + 3 + 4);  // init 0 + sum(r+1)
+      EXPECT_EQ(mem[61], kP);                 // one fetch_add per rank
+    }
+
+    // Phase 3: read the accumulate word back from everywhere.
+    std::int64_t got = -1;
+    co_await win->get(&got, 1, mpi::Datatype::kLong, 0, 60 * 8);
+    co_await win->flush(0);
+    EXPECT_EQ(got, 10);
+    ++checked;
+    co_await win->fence();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_EQ(checked, kP) << "a rank never finished the RMA program";
+}
+
+TEST(RmaDifferential, BasicDesignMatchesOracle) {
+  run_rma_program(rdmach::Design::kBasic, 1);
+}
+
+TEST(RmaDifferential, ZeroCopyDesignMatchesOracle) {
+  run_rma_program(rdmach::Design::kZeroCopy, 1);
+}
+
+TEST(RmaDifferential, ShmStackMatchesOracle) {
+  // All four ranks on one node: the bootstrap runs over the shared-memory
+  // channel, the window QPs are HCA-loopback.
+  run_rma_program(rdmach::Design::kShm, 4);
+}
+
+// ---------------------------------------------------------------------------
+// The accumulate data race (historical bug): conflicting targets
+// ---------------------------------------------------------------------------
+
+TEST(Rma, AccumulateContentionIsSerialized) {
+  // Every rank accumulates into the SAME window word of rank 0,
+  // concurrently.  The historical read-modify-write emulation lost
+  // updates here; the CAS-lock serialization must not drop any.
+  constexpr int kP = 4;
+  constexpr int kHits = 10;
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, kP};
+  std::int64_t final_value = -1;
+  std::uint64_t lock_spins = 0;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(1, 0);
+    auto win = co_await mpi::Window::create(world, mem.data(), 8);
+    co_await win->fence();
+    win->lock_all();
+    const std::int64_t one = 1;
+    for (int i = 0; i < kHits; ++i) {
+      co_await win->accumulate(&one, 1, mpi::Datatype::kLong, mpi::Op::kSum,
+                               0, 0);
+    }
+    co_await win->unlock_all();
+    co_await win->fence();
+    if (world.rank() == 0) {
+      final_value = mem[0];
+      lock_spins = win->stats().lock_spins;
+    }
+    co_await world.barrier();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_EQ(final_value, kP * kHits);  // no lost updates
+  (void)lock_spins;  // contention may or may not spin; correctness above
+}
+
+TEST(Rma, FetchAddContentionUnderFlushEpochs) {
+  constexpr int kP = 4;
+  constexpr int kHits = 8;
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, kP};
+  std::int64_t final_value = -1;
+  bool olds_distinct = true;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(1, 0);
+    auto win = co_await mpi::Window::create(world, mem.data(), 8);
+    co_await win->fence();
+    win->lock_all();
+    std::int64_t prev = -1;
+    for (int i = 0; i < kHits; ++i) {
+      const std::int64_t old = co_await win->fetch_add(0, 0, 1);
+      if (old <= prev) olds_distinct = false;  // must be strictly increasing
+      prev = old;
+      co_await win->flush(0);
+    }
+    co_await win->unlock_all();
+    co_await win->fence();
+    if (world.rank() == 0) final_value = mem[0];
+    co_await world.barrier();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_EQ(final_value, kP * kHits);
+  EXPECT_TRUE(olds_distinct);
+}
+
+// ---------------------------------------------------------------------------
+// Notified access
+// ---------------------------------------------------------------------------
+
+TEST(Rma, PutNotifyProducerConsumer) {
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, 2};
+  int consumed = 0;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(4, 0);
+    auto win = co_await mpi::Window::create(world, mem.data(), 4 * 8);
+    co_await win->fence();
+    if (world.rank() == 0) {
+      win->lock_all();
+      for (std::int64_t i = 1; i <= 3; ++i) {
+        const std::int64_t v = 100 + i;
+        co_await win->put_notify(&v, 1, mpi::Datatype::kLong, 1,
+                                 static_cast<std::size_t>(i - 1) * 8);
+        co_await win->flush(1);  // origin-side completion of data + flag
+      }
+      co_await win->unlock_all();
+    } else {
+      for (std::int64_t i = 1; i <= 3; ++i) {
+        co_await win->wait_notify(0, static_cast<std::uint64_t>(i));
+        // The flag rode the same QP behind the data: observing notify i
+        // means puts 1..i all landed.
+        for (std::int64_t k = 1; k <= i; ++k) {
+          EXPECT_EQ(mem[static_cast<std::size_t>(k - 1)], 100 + k);
+        }
+        ++consumed;
+      }
+      EXPECT_EQ(win->notify_count(0), 3u);
+    }
+    co_await win->fence();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_EQ(consumed, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery composition
+// ---------------------------------------------------------------------------
+
+TEST(RmaFault, FlushSpansQpKillAndReplays) {
+  // A transient fatal kill lands mid-burst on the origin's window QP.  The
+  // flush must observe the error CQEs, reset the QP, replay the journal,
+  // and complete -- the target's memory ends up exactly as if no fault had
+  // happened (puts are idempotent; the killed WQE never reached the
+  // responder).
+  FaultPlan plan;
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  fabric.attach_faults(&plan.schedule);
+  pmi::Job job{fabric, 2};
+  std::uint64_t replays = 0, recoveries = 0;
+  int verified = 0;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    constexpr int kBurst = 8;
+    std::vector<std::int64_t> mem(kBurst, -1);
+    auto win = co_await mpi::Window::create(world, mem.data(), kBurst * 8);
+    co_await win->fence();
+    if (world.rank() == 0) {
+      // Kill the third window WQE this node processes from here on; the
+      // channel is quiescent between the fence and the flush, so the
+      // burst's puts are the next WQEs in scope.
+      const std::string scope = FaultPlan::scope_of(0);
+      plan.schedule.kill(scope, plan.schedule.observed(scope) + 2);
+      win->lock_all();
+      std::vector<std::int64_t> vals(kBurst);
+      for (int i = 0; i < kBurst; ++i) vals[i] = 1000 + i;
+      for (int i = 0; i < kBurst; ++i) {
+        co_await win->put(&vals[static_cast<std::size_t>(i)], 1,
+                          mpi::Datatype::kLong, 1,
+                          static_cast<std::size_t>(i) * 8);
+      }
+      co_await win->flush(1);
+      co_await win->unlock_all();
+      replays = win->stats().replays;
+      recoveries = win->stats().recoveries;
+    }
+    co_await world.barrier();  // flush happened-before the check
+    if (world.rank() == 1) {
+      for (int i = 0; i < kBurst; ++i) {
+        EXPECT_EQ(mem[static_cast<std::size_t>(i)], 1000 + i) << "slot " << i;
+      }
+      ++verified;
+    }
+    co_await win->fence();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_EQ(verified, 1) << "target never verified (hang?)";
+  EXPECT_GE(recoveries, 1u) << "the kill was never recovered from";
+  EXPECT_GE(replays, 1u) << "no journal entry was replayed";
+}
+
+TEST(RmaFault, RmaToDeadRankFailsFastUnderFtDetector) {
+  // Rank 3 dies for real after the window is up.  Rank 0 discovers it the
+  // hard way -- a flush whose retry budget convicts and posts the obituary
+  // -- and every subsequent RMA entry toward the corpse fails fast off the
+  // board, from every survivor.  Never a hang.
+  constexpr int kP = 4;
+  mpi::RuntimeConfig cfg;
+  cfg.stack.channel.design = rdmach::Design::kZeroCopy;
+  cfg.stack.channel.ft_detector = true;
+  cfg.stack.channel.recovery_max_attempts = 4;
+  mpi::WindowConfig wcfg;
+  wcfg.recovery_max_attempts = 3;  // shorten the conviction
+  FaultPlan plan;
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  fabric.attach_faults(&plan.schedule);
+  pmi::Job job{fabric, kP};
+  bool proc_failed[kP] = {false, false, false, false};
+  bool fast_failed[kP] = {false, false, false, false};
+  std::uint64_t fast_fail_count = 0;
+  std::vector<std::unique_ptr<mpi::Runtime>> rts(kP);
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    rts[static_cast<std::size_t>(ctx.rank)] =
+        std::make_unique<mpi::Runtime>(ctx, cfg);
+    mpi::Runtime& rt = *rts[static_cast<std::size_t>(ctx.rank)];
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(8, 0);
+    auto win =
+        co_await mpi::Window::create(world, mem.data(), 8 * 8, wcfg);
+    co_await win->fence();
+    if (ctx.rank == 3) {
+      plan.schedule.rank_down(FaultPlan::scope_of(3));
+      co_return;  // the corpse: never progresses again
+    }
+    win->lock_all();
+    const std::int64_t v = 7;
+    if (ctx.rank == 0) {
+      // The hard way: put + flush burns the window's retry budget, posts
+      // the obituary, raises ProcFailedError naming the corpse.
+      try {
+        co_await win->put(&v, 1, mpi::Datatype::kLong, 3, 0);
+        co_await win->flush(3);
+      } catch (const mpi::ProcFailedError& e) {
+        proc_failed[0] = true;
+        EXPECT_EQ(e.world_rank(), 3);
+      }
+      // Fast path: with the obituary on the board, the entry check fires
+      // before any WQE is posted.
+      try {
+        co_await win->put(&v, 1, mpi::Datatype::kLong, 3, 0);
+      } catch (const mpi::ProcFailedError& e) {
+        fast_failed[0] = true;
+        EXPECT_EQ(e.world_rank(), 3);
+      }
+      fast_fail_count = win->stats().obit_fast_fails;
+    } else {
+      // Enter only once the obituary is on the board, so the error comes
+      // from the uniform entry check.
+      const std::string posted = co_await ctx.kvs->get("ft:dead:3");
+      (void)posted;
+      try {
+        co_await win->put(&v, 1, mpi::Datatype::kLong, 3, 0);
+      } catch (const mpi::ProcFailedError& e) {
+        proc_failed[ctx.rank] = true;
+        fast_failed[ctx.rank] = true;
+        EXPECT_EQ(e.world_rank(), 3);
+      }
+    }
+  });
+  sim.run_until(kDeadline);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(r == 0 ? proc_failed[0] : proc_failed[r])
+        << "survivor " << r << " saw no error";
+    EXPECT_TRUE(fast_failed[r]) << "survivor " << r << " did not fast-fail";
+  }
+  EXPECT_GE(fast_fail_count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ChannelStats facade plumbing
+// ---------------------------------------------------------------------------
+
+TEST(RmaStats, FacadeCountsAndResets) {
+  // The multi-method facade keeps its own rma_* counters (summed on top of
+  // both members' tracks) and reset_channel_stats must zero them.
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, 2, /*ranks_per_node=*/2};
+  mpi::RuntimeConfig cfg;
+  cfg.stack.channel.design = rdmach::Design::kMultiMethod;
+  bool checked = false;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, cfg);
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(4, 0);
+    auto win = co_await mpi::Window::create(world, mem.data(), 4 * 8);
+    co_await win->fence();
+    win->lock_all();
+    if (world.rank() == 0) {
+      const std::int64_t v = 1;
+      co_await win->put(&v, 1, mpi::Datatype::kLong, 1, 0);
+      co_await win->flush(1);
+      std::int64_t got = 0;
+      co_await win->get(&got, 1, mpi::Datatype::kLong, 1, 0);
+      co_await win->flush(1);
+      (void)co_await win->fetch_add(1, 8, 1);
+
+      const rdmach::ChannelStats st = rt.engine().channel().channel_stats();
+      EXPECT_EQ(st.rma_puts, 1u);
+      EXPECT_EQ(st.rma_gets, 1u);
+      EXPECT_EQ(st.rma_atomics, 1u);
+      EXPECT_EQ(st.rma_flushes, 2u);
+
+      rt.engine().channel().reset_channel_stats();
+      const rdmach::ChannelStats zero = rt.engine().channel().channel_stats();
+      EXPECT_EQ(zero.rma_puts, 0u);
+      EXPECT_EQ(zero.rma_gets, 0u);
+      EXPECT_EQ(zero.rma_atomics, 0u);
+      EXPECT_EQ(zero.rma_flushes, 0u);
+
+      rt.engine().channel().note_rma(rdmach::RmaOp::kPut);
+      EXPECT_EQ(rt.engine().channel().channel_stats().rma_puts, 1u);
+      checked = true;
+    }
+    co_await win->unlock_all();
+    co_await win->fence();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
