@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <utility>
 
@@ -60,9 +61,11 @@ sim::Task<void> Window::init() {
   cache_ = std::make_unique<rdmach::RegCache>(*pd_, 64u << 20, true);
 
   // Control block: accumulate lock word, CAS scratch, inbound notify
-  // counters by origin, outbound notify values by target (the flag write
-  // needs a registered, stable 8-byte source per target).
-  ctrl_.assign(2 + 2 * static_cast<std::size_t>(p), 0);
+  // counters by origin, and a ring of outbound notify flag sources (each
+  // flag write needs a registered 8-byte source that stays stable until
+  // its CQE retires it -- see the layout comment in the header).
+  ctrl_.assign(2 + static_cast<std::size_t>(p) + kNotifySlots, 0);
+  notify_busy_.assign(kNotifySlots, 0);
   ctrl_mr_ = co_await pd_->register_memory(ctrl_.data(), ctrl_.size() * 8,
                                            ib::kAllAccess);
 
@@ -88,6 +91,7 @@ sim::Task<void> Window::init() {
     kvs.put_u64(key(me, r, "qpn"), qp.qp_num());
   }
   kvs.put_u64(key(me, -1, "addr"), reinterpret_cast<std::uint64_t>(base_));
+  kvs.put_u64(key(me, -1, "size"), bytes_);
   kvs.put_u64(key(me, -1, "rkey"), mr_->rkey());
   kvs.put_u64(key(me, -1, "caddr"),
               reinterpret_cast<std::uint64_t>(ctrl_.data()));
@@ -97,6 +101,7 @@ sim::Task<void> Window::init() {
     if (r == me) continue;
     Peer& peer = peers_[static_cast<std::size_t>(r)];
     peer.raddr = co_await kvs.get_u64(key(r, -1, "addr"));
+    peer.rbytes = co_await kvs.get_u64(key(r, -1, "size"));
     peer.rkey =
         static_cast<std::uint32_t>(co_await kvs.get_u64(key(r, -1, "rkey")));
     peer.ctrl_raddr = co_await kvs.get_u64(key(r, -1, "caddr"));
@@ -151,6 +156,16 @@ int Window::alloc_inline_slot() {
   return -1;
 }
 
+int Window::alloc_notify_slot() {
+  for (std::size_t i = 0; i < notify_busy_.size(); ++i) {
+    if (notify_busy_[i] == 0) {
+      notify_busy_[i] = 1;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
 sim::Task<ib::Wc> Window::rma_sync(OpRecord rec) {
   const int target = rec.target;
   sim::Simulator& sim = comm_->engine().ctx().sim();
@@ -191,9 +206,18 @@ sim::Task<ib::Wc> Window::rma_sync(OpRecord rec) {
 
 void Window::check_range(int target, std::size_t disp,
                          std::size_t len) const {
-  (void)target;
-  if (disp + len > bytes_) {
-    throw MpiError("one-sided access outside the window");
+  // create() takes per-rank bytes, so windows may be asymmetric: validate
+  // against the *target's* exposed size (exchanged at create), not ours --
+  // otherwise a legal access to a larger remote window throws and an
+  // out-of-range access to a smaller one surfaces as a remote-access CQE
+  // plus QP recovery churn instead of a clean local error.
+  const std::size_t limit =
+      target == comm_->rank()
+          ? bytes_
+          : static_cast<std::size_t>(
+                peers_[static_cast<std::size_t>(target)].rbytes);
+  if (disp + len > limit) {
+    throw MpiError("one-sided access outside the target window");
   }
 }
 
@@ -273,14 +297,32 @@ sim::Task<void> Window::put_notify(const void* origin, int count, Datatype d,
   const int me = comm_->rank();
   if (target == me) {
     ctrl_[2 + static_cast<std::size_t>(me)] += 1;
+    // Remote flags wake waiters through the inbound-DMA trigger; a local
+    // bump must do the same or a coroutine already blocked in
+    // wait_notify(me, ...) never re-evaluates its predicate.
+    comm_->engine().ctx().node->dma_arrival().fire();
     co_return;
   }
   Peer& peer = peers_[static_cast<std::size_t>(target)];
   ++peer.notify_out;
   // The flag travels on the same QP *after* the data; RC in-order delivery
   // makes it visible only once the data landed.  The value is an absolute
-  // sequence number, so replay after recovery is idempotent.
-  const std::size_t out_slot = 2 + peers_.size() + static_cast<std::size_t>(target);
+  // sequence number, so replay after recovery is idempotent.  Each
+  // in-flight flag owns its own registered source slot until the CQE
+  // retires it: the HCA gathers the source at WQE-processing time, so a
+  // shared slot would let a later put_notify's count ride the earlier
+  // flag write.  Ring exhaustion falls back to draining (every retired op
+  // frees its slot).
+  int slot = alloc_notify_slot();
+  if (slot < 0) {
+    co_await drain_target(target);
+    slot = alloc_notify_slot();
+  }
+  if (slot < 0) {
+    co_await drain_target(-1);  // empties the journal: every slot frees
+    slot = alloc_notify_slot();
+  }
+  const std::size_t out_slot = 2 + peers_.size() + static_cast<std::size_t>(slot);
   ctrl_[out_slot] = peer.notify_out;
   OpRecord rec;
   rec.target = target;
@@ -290,6 +332,7 @@ sim::Task<void> Window::put_notify(const void* origin, int count, Datatype d,
   rec.remote_addr = peer.ctrl_raddr + (2 + static_cast<std::size_t>(me)) * 8;
   rec.rkey = peer.ctrl_rkey;
   rec.lkey = ctrl_mr_->lkey();
+  rec.notify_slot = slot;
   post_op(std::move(rec));
 }
 
@@ -317,10 +360,16 @@ sim::Task<void> Window::accumulate(const void* origin, int count, Datatype d,
     // check-and-apply runs in one coroutine step (no suspension), so once
     // the word reads free the update is atomic with the check.
     sim::Simulator& lsim = comm_->engine().ctx().sim();
-    const sim::Tick ldeadline = arm_deadline();
+    sim::Tick ldeadline = arm_deadline();
+    std::uint64_t lowner = ctrl_[0];
     while (ctrl_[0] != 0) {
       ++stats_.lock_spins;
-      if (ldeadline != 0 && lsim.now() >= ldeadline) {
+      if (ctrl_[0] != lowner) {
+        // The lock moved to a new holder: the queue is making progress, so
+        // re-arm (expiry is reserved for a holder that never budges).
+        lowner = ctrl_[0];
+        ldeadline = arm_deadline();
+      } else if (ldeadline != 0 && lsim.now() >= ldeadline) {
         throw rdmach::ChannelError(
             target, "accumulate: window RMW lock never released",
             rdmach::ChannelError::kDead);
@@ -339,7 +388,9 @@ sim::Task<void> Window::accumulate(const void* origin, int count, Datatype d,
   // control block's lock word serializes conflicting accumulates from any
   // set of origins (this is what makes the old racy read-modify-write
   // emulation safe).
-  const sim::Tick deadline = arm_deadline();
+  sim::Tick deadline = arm_deadline();
+  std::uint64_t owner = 0;
+  bool owner_seen = false;
   for (;;) {
     OpRecord cas;
     cas.target = target;
@@ -354,7 +405,16 @@ sim::Task<void> Window::accumulate(const void* origin, int count, Datatype d,
     (void)co_await rma_sync(std::move(cas));
     if (ctrl_[1] == 0) break;  // prior value was "free": lock is ours
     ++stats_.lock_spins;
-    if (deadline != 0 && sim.now() >= deadline) {
+    if (!owner_seen || ctrl_[1] != owner) {
+      // A different holder since we last looked: the lock queue is making
+      // progress, so re-arm the watchdog -- under healthy contention
+      // (many origins rotating through the lock) the total wait can
+      // legitimately exceed one fixed deadline.  A holder that never
+      // budges still expires it.
+      owner = ctrl_[1];
+      owner_seen = true;
+      deadline = arm_deadline();
+    } else if (deadline != 0 && sim.now() >= deadline) {
       throw rdmach::ChannelError(
           target, "accumulate: window RMW lock never released",
           rdmach::ChannelError::kDead);
@@ -362,42 +422,68 @@ sim::Task<void> Window::accumulate(const void* origin, int count, Datatype d,
     co_await sim.delay(sim::usec(1));  // deterministic retry pacing
   }
 
-  // Read-modify-write under the lock.
+  // Read-modify-write under the lock.  A failure in here (retry budget,
+  // watchdog, obituary conviction) must not leak the remote lock word:
+  // healthy origins accumulating to a live target would spin until their
+  // own watchdog and raise a false kDead.  co_await is illegal inside a
+  // catch handler, so capture the exception and clean up after.
   std::vector<std::byte> tmp(len);
-  ib::MemoryRegion* mr = co_await cache_->acquire(tmp.data(), len);
-  OpRecord rd;
-  rd.target = target;
-  rd.op = ib::Opcode::kRdmaRead;
-  rd.local = tmp.data();
-  rd.len = len;
-  rd.remote_addr = peer.raddr + disp;
-  rd.rkey = peer.rkey;
-  rd.lkey = mr->lkey();
-  (void)co_await rma_sync(std::move(rd));
-  apply_op(op, d, origin, tmp.data(), count);
-  OpRecord wb;
-  wb.target = target;
-  wb.op = ib::Opcode::kRdmaWrite;
-  wb.local = tmp.data();
-  wb.len = len;
-  wb.remote_addr = peer.raddr + disp;
-  wb.rkey = peer.rkey;
-  wb.lkey = mr->lkey();
-  (void)co_await rma_sync(std::move(wb));
-  co_await cache_->release(mr);
+  ib::MemoryRegion* mr = nullptr;
+  std::exception_ptr failure;
+  try {
+    mr = co_await cache_->acquire(tmp.data(), len);
+    OpRecord rd;
+    rd.target = target;
+    rd.op = ib::Opcode::kRdmaRead;
+    rd.local = tmp.data();
+    rd.len = len;
+    rd.remote_addr = peer.raddr + disp;
+    rd.rkey = peer.rkey;
+    rd.lkey = mr->lkey();
+    (void)co_await rma_sync(std::move(rd));
+    apply_op(op, d, origin, tmp.data(), count);
+    OpRecord wb;
+    wb.target = target;
+    wb.op = ib::Opcode::kRdmaWrite;
+    wb.local = tmp.data();
+    wb.len = len;
+    wb.remote_addr = peer.raddr + disp;
+    wb.rkey = peer.rkey;
+    wb.lkey = mr->lkey();
+    (void)co_await rma_sync(std::move(wb));
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  if (mr != nullptr) {
+    try {
+      co_await cache_->release(mr);
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
+  }
 
   // Release the lock: only the holder writes it, so a plain RDMA write of
-  // zero suffices (and is idempotent under replay).
+  // zero suffices (and is idempotent under replay).  On the failure path
+  // this is best-effort with one fresh recovery budget -- the 8-byte
+  // write is cheap, and if the target is genuinely dead the attempt fails
+  // fast off the obituary board or burns one budget round; the original
+  // error still propagates.
+  if (failure) peer.attempts = 0;
   ctrl_[1] = 0;
-  OpRecord unlock;
-  unlock.target = target;
-  unlock.op = ib::Opcode::kRdmaWrite;
-  unlock.local = reinterpret_cast<std::byte*>(&ctrl_[1]);
-  unlock.len = 8;
-  unlock.remote_addr = peer.ctrl_raddr;
-  unlock.rkey = peer.ctrl_rkey;
-  unlock.lkey = ctrl_mr_->lkey();
-  (void)co_await rma_sync(std::move(unlock));
+  try {
+    OpRecord unlock;
+    unlock.target = target;
+    unlock.op = ib::Opcode::kRdmaWrite;
+    unlock.local = reinterpret_cast<std::byte*>(&ctrl_[1]);
+    unlock.len = 8;
+    unlock.remote_addr = peer.ctrl_raddr;
+    unlock.rkey = peer.ctrl_rkey;
+    unlock.lkey = ctrl_mr_->lkey();
+    (void)co_await rma_sync(std::move(unlock));
+  } catch (...) {
+    if (!failure) throw;  // RMW succeeded: the unlock failure is primary
+  }
+  if (failure) std::rethrow_exception(failure);
 }
 
 sim::Task<std::int64_t> Window::fetch_add(int target, std::size_t disp,
@@ -445,6 +531,7 @@ void Window::process_wc(const ib::Wc& wc) {
   if (wc.status == ib::WcStatus::kSuccess) {
     if (rec.mr != nullptr) release_q_.push_back(rec.mr);
     if (rec.inline_slot >= 0) slot_busy_[static_cast<std::size_t>(rec.inline_slot)] = 0;
+    if (rec.notify_slot >= 0) notify_busy_[static_cast<std::size_t>(rec.notify_slot)] = 0;
     if (peer.outstanding > 0) --peer.outstanding;
     peer.attempts = 0;  // completion progress re-arms the retry budget
     progress_ = true;
@@ -606,6 +693,9 @@ void Window::abandon_target(int target) {
     if (it->second.mr != nullptr) release_q_.push_back(it->second.mr);
     if (it->second.inline_slot >= 0) {
       slot_busy_[static_cast<std::size_t>(it->second.inline_slot)] = 0;
+    }
+    if (it->second.notify_slot >= 0) {
+      notify_busy_[static_cast<std::size_t>(it->second.notify_slot)] = 0;
     }
     it = journal_.erase(it);
   }

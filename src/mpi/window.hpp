@@ -189,6 +189,7 @@ class Window {
   struct Peer {
     ib::QueuePair* qp = nullptr;
     std::uint64_t raddr = 0;       // window base
+    std::uint64_t rbytes = 0;      // target's exposed size (may differ)
     std::uint32_t rkey = 0;
     std::uint64_t ctrl_raddr = 0;  // control block (lock + notify slots)
     std::uint32_t ctrl_rkey = 0;
@@ -212,6 +213,7 @@ class Window {
     std::uint64_t atomic_swap = 0;
     ib::MemoryRegion* mr = nullptr;  // RegCache pin, released at retire
     int inline_slot = -1;            // staging slot, freed at retire
+    int notify_slot = -1;            // notify flag source slot, ditto
   };
 
   sim::Task<void> init();
@@ -223,6 +225,7 @@ class Window {
   /// recover() on error.  Not journalled (nothing outlives the await).
   sim::Task<ib::Wc> rma_sync(OpRecord rec);
   int alloc_inline_slot();
+  int alloc_notify_slot();
 
   // ---- completion / recovery ------------------------------------------------
   void process_wc(const ib::Wc& wc);
@@ -268,9 +271,16 @@ class Window {
   ///   [0]          accumulate lock word (0 free, else owner rank + 1)
   ///   [1]          local scratch for CAS results / lock release
   ///   [2 .. 2+p)   notify counters, indexed by origin rank
-  ///   [2+p .. 2+2p) outgoing notify values, indexed by target rank
+  ///   [2+p .. 2+p+kNotifySlots)  outgoing notify flag sources.  A ring,
+  ///                not a per-target slot: the HCA gathers the source at
+  ///                WQE-processing time, so every in-flight flag write
+  ///                must own its 8-byte source until the CQE retires it --
+  ///                pipelined put_notify calls sharing one slot could
+  ///                deliver a later absolute count with the earlier flag.
+  static constexpr std::size_t kNotifySlots = 16;
   std::vector<std::uint64_t> ctrl_;
   ib::MemoryRegion* ctrl_mr_ = nullptr;
+  std::vector<char> notify_busy_;
 
   /// Inline-eager staging ring (registered once at create).
   std::vector<std::byte> slab_;

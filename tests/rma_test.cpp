@@ -219,6 +219,146 @@ TEST(Rma, PutNotifyProducerConsumer) {
   EXPECT_EQ(consumed, 3);
 }
 
+TEST(Rma, PipelinedPutNotifyKeepsFlagOrdering) {
+  // Back-to-back put_notify calls with NO intervening flush: each flag
+  // write must own its registered source until its CQE retires it (the
+  // HCA gathers the source at WQE-processing time), or an early flag can
+  // carry a later absolute count and unblock the consumer before the
+  // corresponding puts landed.  24 notifies also overflows the 16-slot
+  // ring, exercising the drain fallback.
+  constexpr std::int64_t kN = 24;
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, 2};
+  int consumed = 0;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(kN, -1);
+    auto win = co_await mpi::Window::create(world, mem.data(), kN * 8);
+    co_await win->fence();
+    if (world.rank() == 0) {
+      win->lock_all();
+      // Warm the RegCache with one covering registration (content is the
+      // -1s the target already holds), so the burst's acquires are cache
+      // hits and every put_notify posts in the same tick -- the deepest,
+      // most adversarial pipeline the origin can create.
+      std::vector<std::int64_t> vals(static_cast<std::size_t>(kN), -1);
+      co_await win->put(vals.data(), static_cast<int>(kN),
+                        mpi::Datatype::kLong, 1, 0);
+      co_await win->flush(1);
+      for (std::int64_t i = 1; i <= kN; ++i) {
+        vals[static_cast<std::size_t>(i - 1)] = 100 + i;
+        co_await win->put_notify(&vals[static_cast<std::size_t>(i - 1)], 1,
+                                 mpi::Datatype::kLong, 1,
+                                 static_cast<std::size_t>(i - 1) * 8);
+        // Deliberately no flush: the whole burst is in flight at once.
+      }
+      co_await win->flush(1);
+      co_await win->unlock_all();
+    } else {
+      for (std::int64_t i = 1; i <= kN; ++i) {
+        co_await win->wait_notify(0, static_cast<std::uint64_t>(i));
+        // Whatever count is visible, every put up to it must have landed.
+        const std::uint64_t c = win->notify_count(0);
+        for (std::uint64_t k = 1; k <= c; ++k) {
+          EXPECT_EQ(mem[static_cast<std::size_t>(k - 1)],
+                    static_cast<std::int64_t>(100 + k))
+              << "notify " << c << " visible but put " << k << " missing";
+        }
+        ++consumed;
+      }
+      EXPECT_EQ(win->notify_count(0), static_cast<std::uint64_t>(kN));
+    }
+    co_await win->fence();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_EQ(consumed, kN);
+}
+
+sim::Task<void> self_notify_waiter(mpi::Window& win, int me, bool& woke) {
+  co_await win.wait_notify(me, 1);
+  woke = true;
+}
+
+TEST(Rma, PutNotifyToSelfWakesBlockedWaiter) {
+  // A coroutine already blocked in wait_notify(self) re-evaluates its
+  // predicate only when the node's dma_arrival trigger fires; a local
+  // put_notify must fire it just like an inbound flag write does.
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, 1};
+  bool woke = false;
+  bool done = false;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(2, 0);
+    auto win = co_await mpi::Window::create(world, mem.data(), 2 * 8);
+    co_await win->fence();
+    ctx.sim().spawn(self_notify_waiter(*win, 0, woke), "self-waiter");
+    co_await ctx.sim().delay(sim::usec(10));  // let the waiter block first
+    EXPECT_FALSE(woke);
+    const std::int64_t v = 42;
+    co_await win->put_notify(&v, 1, mpi::Datatype::kLong, 0, 0);
+    co_await ctx.sim().delay(sim::usec(100));
+    EXPECT_TRUE(woke) << "self put_notify never woke the blocked waiter";
+    EXPECT_EQ(mem[0], 42);
+    co_await win->fence();
+    done = true;
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_TRUE(woke);
+  EXPECT_TRUE(done);
+}
+
+TEST(Rma, AsymmetricWindowsValidateAgainstTargetSize) {
+  // create() takes per-rank bytes, so legality of an access is a property
+  // of the *target's* window: rank 0 exposes 8 bytes, rank 1 exposes 64.
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  pmi::Job job{fabric, 2};
+  bool stored = false;
+  bool rejected = false;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    const int me = world.rank();
+    std::vector<std::int64_t> mem(me == 0 ? 1 : 8, -1);
+    auto win =
+        co_await mpi::Window::create(world, mem.data(), mem.size() * 8);
+    co_await win->fence();
+    if (me == 0) {
+      // Legal at the target (disp 32 < 64) though beyond our own 8 bytes.
+      win->lock_all();
+      const std::int64_t v = 77;
+      co_await win->put(&v, 1, mpi::Datatype::kLong, 1, 4 * 8);
+      co_await win->flush(1);
+      co_await win->unlock_all();
+    } else {
+      // Out of range at the target: a clean local MpiError, no wire op.
+      const std::int64_t v = 5;
+      try {
+        co_await win->put(&v, 1, mpi::Datatype::kLong, 0, 4 * 8);
+      } catch (const mpi::MpiError&) {
+        rejected = true;
+      }
+    }
+    co_await world.barrier();
+    if (me == 1) stored = (mem[4] == 77);
+    co_await win->fence();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_TRUE(stored) << "legal access to the larger remote window failed";
+  EXPECT_TRUE(rejected) << "out-of-range access was not rejected locally";
+}
+
 // ---------------------------------------------------------------------------
 // Recovery composition
 // ---------------------------------------------------------------------------
@@ -277,6 +417,66 @@ TEST(RmaFault, FlushSpansQpKillAndReplays) {
   EXPECT_EQ(verified, 1) << "target never verified (hang?)";
   EXPECT_GE(recoveries, 1u) << "the kill was never recovered from";
   EXPECT_GE(replays, 1u) << "no journal entry was replayed";
+}
+
+TEST(RmaFault, AccumulateFailureReleasesRemoteLock) {
+  // Rank 1's RMW read dies (non-fatal kill, zero retry budget) after its
+  // CAS took rank 0's accumulate lock: the accumulate raises
+  // ChannelError, but the failure path must still release the remote
+  // lock word -- otherwise rank 2, accumulating to the same live target,
+  // spins on the leaked lock until its watchdog and raises a false kDead.
+  constexpr int kP = 3;
+  mpi::WindowConfig wcfg;
+  wcfg.recovery_max_attempts = 0;
+  FaultPlan plan;
+  sim::Simulator sim;
+  ib::Fabric fabric{sim};
+  fabric.attach_faults(&plan.schedule);
+  pmi::Job job{fabric, kP};
+  bool failed = false;
+  bool second_ok = false;
+  std::int64_t final_value = -1;
+  job.launch([&](pmi::Context& ctx) -> sim::Task<void> {
+    mpi::Runtime rt(ctx, {});
+    co_await rt.init();
+    mpi::Communicator& world = rt.world();
+    std::vector<std::int64_t> mem(1, 0);
+    auto win = co_await mpi::Window::create(world, mem.data(), 8, wcfg);
+    co_await win->fence();
+    win->lock_all();
+    const std::int64_t contrib = 5;
+    if (world.rank() == 1) {
+      // Next window WQEs this node initiates: the CAS (lock acquire),
+      // then the RMW read -- kill the read, non-fatally (the QP
+      // survives, the zero budget does not).
+      const std::string scope = FaultPlan::scope_of(1);
+      plan.schedule.kill(scope, plan.schedule.observed(scope) + 1,
+                         /*fatal=*/false);
+      try {
+        co_await win->accumulate(&contrib, 1, mpi::Datatype::kLong,
+                                 mpi::Op::kSum, 0, 0);
+      } catch (const rdmach::ChannelError&) {
+        failed = true;
+      }
+      ctx.kvs->put("rma:lockleak:failed", "1");
+    } else if (world.rank() == 2) {
+      (void)co_await ctx.kvs->get("rma:lockleak:failed");
+      co_await win->accumulate(&contrib, 1, mpi::Datatype::kLong,
+                               mpi::Op::kSum, 0, 0);
+      second_ok = true;
+      ctx.kvs->put("rma:lockleak:done", "1");
+    } else {
+      (void)co_await ctx.kvs->get("rma:lockleak:done");
+      final_value = mem[0];
+    }
+    co_await win->unlock_all();
+    co_await win->fence();
+    co_await rt.finalize();
+  });
+  sim.run_until(kDeadline);
+  EXPECT_TRUE(failed) << "the injected kill never surfaced";
+  EXPECT_TRUE(second_ok) << "healthy origin hung on a leaked lock";
+  EXPECT_EQ(final_value, 5) << "the healthy accumulate was lost";
 }
 
 TEST(RmaFault, RmaToDeadRankFailsFastUnderFtDetector) {
