@@ -50,6 +50,8 @@ add_test(NAME perf.smoke.abl_multirail
          COMMAND abl_multirail --smoke)
 add_test(NAME perf.smoke.nas_fault
          COMMAND nas_fault --smoke)
+add_test(NAME perf.smoke.nas_grayfault
+         COMMAND nas_fault --smoke --gray)
 add_test(NAME perf.smoke.ext_scalability
          COMMAND ext_scalability --smoke)
 add_test(NAME perf.smoke.ext_onesided
@@ -58,7 +60,8 @@ add_test(NAME perf.smoke.ext_rma
          COMMAND ext_rma --smoke)
 set_tests_properties(perf.smoke.abl_adaptive perf.smoke.fig13_14_ch3_vs_rdma
                      perf.smoke.abl_integrity perf.smoke.abl_multirail
-                     perf.smoke.nas_fault perf.smoke.ext_scalability
+                     perf.smoke.nas_fault perf.smoke.nas_grayfault
+                     perf.smoke.ext_scalability
                      perf.smoke.ext_onesided perf.smoke.ext_rma
   PROPERTIES LABELS perf
              WORKING_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -128,6 +128,11 @@ inline CampaignOutcome run_nas_campaign(
     out.stats.watchdog_trips += t.watchdog_trips;
     out.stats.replayed_bytes += t.replayed_bytes;
     out.stats.rail_failovers += t.rail_failovers;
+    out.stats.rail_quarantines += t.rail_quarantines;
+    out.stats.rail_reinstates += t.rail_reinstates;
+    out.stats.suspicion_trips += t.suspicion_trips;
+    out.stats.false_suspicions += t.false_suspicions;
+    out.stats.degraded_ns += t.degraded_ns;
   }
   if (campaign != nullptr) {
     out.faults_armed = campaign->armed();
@@ -219,6 +224,62 @@ inline void mix_combined(sim::FaultCampaign& c, const std::string& phase,
   c.at_phase(phase).from(1).once().rail_down(0, 1);
 }
 
+/// Degrade-only (gray failures): no rank ever dies.  Each node's
+/// *secondary* rail turns gray for a window -- 10x latency and a tenth of
+/// the bandwidth -- then heals; rank 0's rail 1 also flickers with a
+/// duty-cycled flaky window.  Rail 1 is the classic gray-failure spot:
+/// the main QP (eager ring + control slots) lives on rail 0, so a sick
+/// secondary only drags the rendezvous stripes that land on it -- exactly
+/// the traffic the suspicion detector samples and quarantine can steer
+/// away.  The acceptance bar is zero kDead convictions and zero
+/// ChannelErrors: everything must flow through suspicion + quarantine,
+/// never the kill path.  Windows are op-indexed, so they are sized to
+/// expire mid-run: once a rail is quarantined only probe traffic advances
+/// its op counter, and an oversized window would self-sustain -- the probe
+/// keeps measuring the degrade it is trying to outlive.
+inline void mix_degrade(sim::FaultCampaign& c, const std::string& phase,
+                        int nprocs) {
+  sim::FaultSchedule::DegradeSpec gray;
+  gray.latency_mult = 10.0;
+  gray.bandwidth_mult = 0.1;
+  for (int r = 0; r < nprocs; ++r) {
+    c.at_phase(phase)
+        .from(1 + r)
+        .repeat_every(2 * nprocs)
+        .times(2)
+        .jitter(16)
+        .degrade_rail(r, 1, gray, 60);
+  }
+  sim::FaultSchedule::DegradeSpec flicker;
+  flicker.latency_add = 40'000;  // +40us on every covered op
+  c.at_phase(phase).from(2).once().flaky_rail(0, 1, flicker, 8, 3, 120);
+}
+
+/// Degrade + kill: the gray mix above at half intensity, plus one real
+/// fatal kill per surviving rank -- the detector must keep degraded (but
+/// alive) rails out of the kDead path while still convicting the peers
+/// that genuinely die.
+inline void mix_degrade_kill(sim::FaultCampaign& c, const std::string& phase,
+                             int nprocs) {
+  sim::FaultSchedule::DegradeSpec gray;
+  gray.latency_mult = 10.0;
+  gray.bandwidth_mult = 0.1;
+  for (int r = 0; r < nprocs; ++r) {
+    c.at_phase(phase)
+        .from(1 + r)
+        .repeat_every(3 * nprocs)
+        .times(2)
+        .jitter(16)
+        .degrade_rail(r, 1, gray, 60);
+    c.at_phase(phase)
+        .from(2 + r)
+        .repeat_every(2 * nprocs)
+        .times(2)
+        .jitter(16)
+        .kill(r);
+  }
+}
+
 using MixFn = std::function<void(sim::FaultCampaign&, const std::string&,
                                  int)>;
 
@@ -229,6 +290,16 @@ inline const std::vector<std::pair<std::string, MixFn>>& standard_mixes() {
       {"corrupt+exhaust", mix_corrupt_exhaust},
       {"raildown", mix_raildown},
       {"combined", mix_combined},
+  };
+  return mixes;
+}
+
+/// Gray-failure mixes (degrade-only and degrade+kill), kept separate from
+/// standard_mixes() so the original four-mix tables are byte-stable.
+inline const std::vector<std::pair<std::string, MixFn>>& gray_mixes() {
+  static const std::vector<std::pair<std::string, MixFn>> mixes = {
+      {"degrade", mix_degrade},
+      {"degrade+kill", mix_degrade_kill},
   };
   return mixes;
 }

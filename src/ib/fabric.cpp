@@ -16,7 +16,8 @@ Node& Fabric::add_node(std::string name) {
   return *nodes_.back();
 }
 
-sim::Task<sim::Tick> Fabric::book_path(Port& src, Port& dst, std::int64_t n) {
+sim::Task<sim::Tick> Fabric::book_path(Port& src, Port& dst, std::int64_t n,
+                                       sim::FaultSchedule::DegradeSpec deg) {
   // Even a zero-byte operation moves a transport header.
   if (n <= 0) n = 16;
   sim::Simulator& s = *sim_;
@@ -28,6 +29,19 @@ sim::Task<sim::Tick> Fabric::book_path(Port& src, Port& dst, std::int64_t n) {
   // enough that later small descriptors (pointer updates) are not starved.
   const sim::Tick backlog_bound =
       4 * sim::transfer_time(chunk_max, src.mbps());
+
+  // Gray-failure shaping: a degraded link serializes chunks slower
+  // (service-time multiplier on the TX stage) and adds/stretches wire
+  // latency.  tmult == 1.0 and the untouched `wire` below are the exact
+  // fault-free arithmetic, so armed-but-clean traces stay bit-identical.
+  double tmult = 1.0;
+  sim::Tick wire = cfg_.wire_latency;
+  if (deg.active()) {
+    if (deg.bandwidth_mult > 0.0) tmult = 1.0 / deg.bandwidth_mult;
+    wire = deg.latency_add +
+           static_cast<sim::Tick>(deg.latency_mult *
+                                  static_cast<double>(cfg_.wire_latency));
+  }
 
   bool first = true;
   sim::Tick delivered = s.now();
@@ -41,8 +55,9 @@ sim::Task<sim::Tick> Fabric::book_path(Port& src, Port& dst, std::int64_t n) {
     const sim::Tick s_done = src_node.bus().reserve(chunk);
     co_await s.delay_until(s_done);
     // Wire serialization (FIFO across all QPs bound to this port).
-    const sim::Tick l_done = src.tx_link().reserve(chunk);
-    sim::Tick arrive = l_done + cfg_.wire_latency;
+    const sim::Tick l_done =
+        src.tx_link().reserve_from(s.now(), chunk, tmult);
+    sim::Tick arrive = l_done + wire;
     if (first) {
       arrive += cfg_.rx_overhead;
       first = false;

@@ -66,8 +66,14 @@ class Fabric {
   /// the *source-side* stages are fully booked so the caller can pipeline
   /// its next descriptor behind this one.  The port-level overload is the
   /// primitive (a QP's traffic rides its bound rail); the Node overload is
-  /// rail 0 of each end, the legacy single-rail path.
-  sim::Task<sim::Tick> book_path(Port& src, Port& dst, std::int64_t n);
+  /// rail 0 of each end, the legacy single-rail path.  `deg` carries a
+  /// gray-failure degrade for this transfer (extra wire latency, scaled
+  /// link service time); the default inactive spec takes the exact
+  /// fault-free arithmetic path, keeping clean traces bit-identical.
+  /// Passed by value: coroutine parameters are copied into the frame, so
+  /// no reference can dangle across suspension.
+  sim::Task<sim::Tick> book_path(Port& src, Port& dst, std::int64_t n,
+                                 sim::FaultSchedule::DegradeSpec deg = {});
   sim::Task<sim::Tick> book_path(Node& src, Node& dst, std::int64_t n);
 
  private:

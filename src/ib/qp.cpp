@@ -254,6 +254,12 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
 
   co_await sim.delay(cfg.wqe_overhead);
 
+  // Gray-failure degrade composed for this WQE from the rail scope and the
+  // node scope (sub-scope inheritance: "node0.rail1" inherits "node0"'s
+  // windows on top of its own).  Stays inactive -- and costs only the
+  // any_degrade() flag test -- when no degrade windows are armed.
+  sim::FaultSchedule::DegradeSpec deg;
+
   // Rail failure domain: any fault scheduled on the "<node>.rail<r>" scope
   // takes the whole port down, sticky -- every WQE initiated through this
   // rail thereafter (any QP bound to it) exhausts the RC retry storm and
@@ -262,11 +268,17 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
   // counts one scope operation per WQE, so schedules are deterministic.
   if (port_->up()) {
     if (sim::FaultSchedule* faults = fabric.faults(); faults != nullptr) {
-      if (faults->check(sim::FaultSchedule::rail_scope(node().name(),
-                                                       port_->rail()))) {
+      const std::string rs =
+          sim::FaultSchedule::rail_scope(node().name(), port_->rail());
+      if (faults->check(rs)) {
         port_->fail();
         fabric.tracer().record(sim.now(), tag, "rail_down", port_->rail(),
                                wr.wr_id);
+      }
+      if (faults->any_degrade()) {
+        // The check() above counted this WQE; the degrade window is keyed
+        // to the same op counter.
+        deg.compose(faults->degrade_at(rs, faults->observed(rs) - 1));
       }
     }
   }
@@ -335,6 +347,33 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
         co_return;
       }
     }
+    if (faults->any_degrade()) {
+      deg.compose(
+          faults->degrade_at(node().name(), faults->observed(node().name()) - 1));
+    }
+  }
+
+  if (deg.drop_prob > 0.0) {
+    // Gray loss: each attempt drops with drop_prob and the RC service
+    // retransmits transparently; only retry-count exhaustion surfaces, and
+    // non-fatally -- the link is degraded, not dead, so the QP stays up.
+    bool exhausted = false;
+    int attempts = 0;
+    while (fabric.rng().chance(deg.drop_prob)) {
+      if (++attempts > cfg.retry_count) {
+        exhausted = true;
+        break;
+      }
+      fabric.tracer().record(sim.now(), tag, "retransmit", 0, wr.wr_id);
+      co_await sim.delay(cfg.retry_delay);
+    }
+    if (exhausted) {
+      complete(*send_cq_,
+               Wc{wr.wr_id, WcStatus::kTransportError, wr.opcode, 0,
+                  qp_num_, false},
+               sim.now() + 2 * cfg.wire_latency);
+      co_return;
+    }
   }
 
   if (cfg.inject_error_rate > 0.0) {
@@ -387,7 +426,7 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
         (*staging)[staging->size() / 2] ^= std::byte{1};
       }
       const sim::Tick delivered = co_await fabric.book_path(
-          *port_, *peer_->port_, static_cast<std::int64_t>(n));
+          *port_, *peer_->port_, static_cast<std::int64_t>(n), deg);
       Node* dst_node = &peer_->node();
       auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
       ++inflight_deliveries_;
@@ -414,7 +453,7 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
         (*staging)[staging->size() / 2] ^= std::byte{1};
       }
       const sim::Tick delivered = co_await fabric.book_path(
-          *port_, *peer_->port_, static_cast<std::int64_t>(n));
+          *port_, *peer_->port_, static_cast<std::int64_t>(n), deg);
       QueuePair* peer = peer_;
       ++inflight_deliveries_;
       sim.call_at(delivered, [this, staging, peer]() mutable {
@@ -468,11 +507,18 @@ sim::Task<void> QueuePair::process_wqe(SendWr wr) {
       const sim::Tick req_sent =
           port_->tx_link().reserve(kCtrlBytes + (is_atomic ? 16 : 0));
       co_await sim.delay_until(req_sent);
-      const sim::Tick req_arrives = sim.now() + cfg.wire_latency;
+      sim::Tick req_wire = cfg.wire_latency;
+      if (deg.active()) {
+        req_wire = deg.latency_add +
+                   static_cast<sim::Tick>(deg.latency_mult *
+                                          static_cast<double>(cfg.wire_latency));
+      }
+      const sim::Tick req_arrives = sim.now() + req_wire;
       QueuePair* peer = peer_;
       ReadRequest req{wr.opcode, wr.remote_addr, wr.rkey,    wr.sgl,
                       wr.wr_id,  wr.signaled,    wr.atomic_arg,
                       wr.atomic_swap, corrupt_payload};
+      req.deg = deg;
       sim.call_at(req_arrives, [peer, req = std::move(req)]() mutable {
         peer->responder_q_->push(std::move(req));
       });
@@ -545,7 +591,7 @@ sim::Task<void> QueuePair::responder_engine() {
                              static_cast<std::int64_t>(n), req.wr_id);
     }
     const sim::Tick delivered = co_await fabric.book_path(
-        *port_, *initiator->port_, static_cast<std::int64_t>(n));
+        *port_, *initiator->port_, static_cast<std::int64_t>(n), req.deg);
     sim.call_at(delivered, [staging, initiator, req, n] {
       scatter(*staging, req.dest_sgl);
       initiator->node().dma_arrival().fire();

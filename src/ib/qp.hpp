@@ -46,6 +46,7 @@
 #include "ib/cq.hpp"
 #include "ib/mr.hpp"
 #include "ib/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -128,6 +129,9 @@ class QueuePair {
     std::uint64_t atomic_swap = 0;
     /// Injected fault: flip a payload bit in the read response.
     bool corrupt = false;
+    /// Gray-failure degrade composed at the initiator; the responder books
+    /// the reply leg with it too (a degraded path is slow both ways).
+    sim::FaultSchedule::DegradeSpec deg{};
   };
 
   struct InboundSend {

@@ -234,10 +234,10 @@ int AdaptiveChannel::pick_write_rail(AdaptiveConnection& c) {
       const int r = static_cast<int>(
           (c.rr_next + static_cast<std::size_t>(step)) %
           static_cast<std::size_t>(R));
-      if (rail_up(r) && aux_on_rail(c, r) >= 0) {
-        c.rr_next = static_cast<std::size_t>((r + 1) % R);
-        return r;
-      }
+      if (!rail_up(r) || aux_on_rail(c, r) < 0) continue;
+      if (rail_quarantined(r) && !rail_probe_due(r)) continue;
+      c.rr_next = static_cast<std::size_t>((r + 1) % R);
+      return r;
     }
     return -1;
   }
@@ -245,6 +245,10 @@ int AdaptiveChannel::pick_write_rail(AdaptiveConnection& c) {
   double best_key = 0.0;
   for (int r = 0; r < R; ++r) {
     if (!rail_up(r) || aux_on_rail(c, r) < 0) continue;
+    if (rail_quarantined(r)) {
+      if (rail_probe_due(r)) return r;  // probation probe rides this round
+      continue;
+    }
     const double key =
         static_cast<double>(c.rail_sched[static_cast<std::size_t>(r)]) /
         sel_.rail_weight(r);
@@ -279,7 +283,7 @@ ib::QueuePair* AdaptiveChannel::write_qp(AdaptiveConnection& c,
                                          AdaptiveConnection::OutRndv& r) {
   if (c.aux.empty()) return c.qp;
   if (num_rails() <= 1) return c.aux.front();
-  if (r.rail >= 0 && rail_up(r.rail)) {
+  if (r.rail >= 0 && rail_usable(r.rail)) {
     const int i = aux_on_rail(c, r.rail);
     if (i >= 0) return c.aux[static_cast<std::size_t>(i)];
   }
@@ -338,6 +342,7 @@ int AdaptiveChannel::pick_read_qp(AdaptiveConnection& c) {
           (c.rr_next + static_cast<std::size_t>(step)) %
           static_cast<std::size_t>(R));
       if (!rail_up(r)) continue;
+      if (rail_quarantined(r) && !rail_probe_due(r)) continue;
       const int q = free_on_rail(r);
       if (q != -2) c.rr_next = static_cast<std::size_t>((r + 1) % R);
       return q;
@@ -351,6 +356,15 @@ int AdaptiveChannel::pick_read_qp(AdaptiveConnection& c) {
   double best_key = 0.0;
   for (int r = 0; r < R; ++r) {
     if (!rail_up(r)) continue;
+    if (rail_quarantined(r)) {
+      // Quarantined rails sit out the stripe; every probe-interval-th skip
+      // sends one chunk through as a probation probe instead.
+      if (rail_probe_due(r)) {
+        const int q = free_on_rail(r);
+        if (q != -2) return q;
+      }
+      continue;
+    }
     const int q = free_on_rail(r);
     if (q == -2) continue;
     const double key =
@@ -525,6 +539,14 @@ sim::Task<void> AdaptiveChannel::handle_ack(AdaptiveConnection& c,
   note(r.proto == ProtocolSelector::Proto::kRead ? rndv_read_track_
                                                  : rndv_write_track_,
        r.len);
+  // Write rendezvous never pass through harvest_chunks, so the ack is the
+  // only point the sender can clock the rail that carried the rounds.  The
+  // elapsed span includes the CTS handshake, but so does every healthy
+  // baseline sample, and a degraded link dwarfs that fixed overhead.
+  if (cfg_.health_detector && r.proto == ProtocolSelector::Proto::kWrite &&
+      r.rail >= 0 && r.len * 2 >= cfg_.rndv_read_chunk) {
+    note_rail_sample(r.rail, r.len, elapsed);
+  }
   if (r.legacy) {
     c.legacy_done = true;
   } else {
@@ -683,9 +705,14 @@ sim::Task<void> AdaptiveChannel::harvest_chunks(
     // Per-rail goodput sample (chunk issued -> chunk retired): feeds the
     // weighted stripe policy.  Relative accuracy across rails is all that
     // matters here.
-    sel_.record_rail(ch.rail, ch.len,
-                     static_cast<double>(ctx_->sim().now() - ch.start) /
-                         sim::usec(1));
+    const double chunk_usec =
+        static_cast<double>(ctx_->sim().now() - ch.start) / sim::usec(1);
+    sel_.record_rail(ch.rail, ch.len, chunk_usec);
+    if (cfg_.health_detector && ch.len * 2 >= cfg_.rndv_read_chunk) {
+      // Health sample: full-size chunks only -- tail fragments run at a
+      // different goodput and would false-trip the suspicion score.
+      note_rail_sample(ch.rail, ch.len, chunk_usec);
+    }
     co_await cache_->release(ch.mr);
     ch.mr = nullptr;
   }

@@ -162,6 +162,37 @@ struct ChannelConfig {
   /// bit-identical: the detector only acts on convictions.
   bool ft_detector = false;
 
+  // ---- gray-failure health monitor ----------------------------------------
+  /// Accrual-style per-rail health detector: completion-latency samples feed
+  /// a per-rail goodput EWMA + variance, deviant samples accrue a suspicion
+  /// score, and a rail whose suspicion crosses `health_suspicion_trip` is
+  /// proactively *quarantined* -- pulled from the adaptive stripe set and
+  /// kept on probation with periodic single-chunk probes -- before any
+  /// watchdog conviction.  A degraded-then-healed rail is reinstated without
+  /// a reconnect once probes recover.  Off by default: detection falls back
+  /// to the fixed recovery_epoch_deadline alone, and armed-but-fault-free
+  /// traces stay bit-identical (the monitor consumes no virtual time and
+  /// draws no randomness either way).
+  bool health_detector = false;
+  /// EWMA weight for new per-rail goodput samples.
+  double health_alpha = 0.2;
+  /// A sample slower than mean + this many sigmas is "suspicious" and
+  /// accrues one unit of suspicion; healthy samples decay the score.
+  double health_soft_sigma = 3.0;
+  /// Accrued suspicion units that trip quarantine.
+  int health_suspicion_trip = 3;
+  /// Minimum samples on a rail before suspicion can accrue (EWMA warmup).
+  int health_warmup = 8;
+  /// Probation: one single-chunk probe is allowed through a quarantined
+  /// rail every this many scheduling decisions that would otherwise have
+  /// skipped it.
+  int health_probe_interval = 16;
+  /// A probe within this factor of the rail's pre-degrade goodput EWMA
+  /// counts as healthy; enough healthy probes reinstate the rail.
+  double health_reinstate_factor = 0.5;
+  /// Consecutive healthy probes required to reinstate.
+  int health_reinstate_probes = 2;
+
   // ---- adaptive rendezvous engine (Design::kAdaptive) ---------------------
   /// Static starting point for the write/read crossover: rendezvous of at
   /// least this many bytes begin on the chunked-read pipeline, smaller ones
@@ -269,6 +300,20 @@ struct ChannelStats {
   std::vector<RailStats> rails;
   /// Total (connection, rail) pairs that failed over to surviving rails.
   std::uint64_t rail_failovers = 0;
+  // ---- gray-failure health monitor (health_detector) ----------------------
+  /// Rails pulled from the stripe set by accrued suspicion (proactive
+  /// quarantine, before any watchdog conviction).
+  std::uint64_t rail_quarantines = 0;
+  /// Quarantined rails returned to service after probes recovered.
+  std::uint64_t rail_reinstates = 0;
+  /// Suspicion-score threshold crossings (one per quarantine entry; kept
+  /// separate so a future per-peer detector can trip without quarantining).
+  std::uint64_t suspicion_trips = 0;
+  /// Quarantines whose very first probe already measured healthy -- the
+  /// detector jumped at noise, not at a degrade.
+  std::uint64_t false_suspicions = 0;
+  /// Virtual nanoseconds rails spent in quarantine (summed across rails).
+  std::uint64_t degraded_ns = 0;
   // ---- rank-dimension scaling (lazy connect / SRQ pool) -------------------
   /// QPs this rank ever created (bootstrap, on-demand connects, recovery
   /// re-handshakes, auxiliary read-pipeline QPs).

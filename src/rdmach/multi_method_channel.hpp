@@ -81,6 +81,11 @@ class MultiMethodChannel : public Channel {
         s.rails[i].failovers += t.rails[i].failovers;
       }
       s.rail_failovers += t.rail_failovers;
+      s.rail_quarantines += t.rail_quarantines;
+      s.rail_reinstates += t.rail_reinstates;
+      s.suspicion_trips += t.suspicion_trips;
+      s.false_suspicions += t.false_suspicions;
+      s.degraded_ns += t.degraded_ns;
     }
     return s;
   }

@@ -1,6 +1,7 @@
 #include "rdmach/verbs_base.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -56,6 +57,7 @@ sim::Task<void> VerbsChannelBase::init() {
         ".cq"));
   }
   rail_track_.assign(static_cast<std::size_t>(num_rails_), {});
+  rail_health_.assign(static_cast<std::size_t>(num_rails_), {});
 
   conns_.clear();
   conns_.resize(static_cast<std::size_t>(size()));
@@ -317,6 +319,23 @@ void VerbsChannelBase::drain_cq() {
         // it must not re-trip recovery on the replacement QP.
         auto it = qp_index_.find(wc.qp_num);
         if (it != qp_index_.end()) it->second->rec.failed = true;
+      } else if (wd_hint_ && wc.status == ib::WcStatus::kSuccess) {
+        // A *partial* CQ drain is progress too: a successful CQE on a
+        // connection inside an armed watchdog episode re-arms its deadline,
+        // so a degraded (slow, not dead) rail that is steadily completing
+        // WQEs can never be convicted by the clock between two recovery
+        // attempts.  Pure bookkeeping -- no virtual time, and wd_hint_ is
+        // only ever set by recover(), so fault-free traces are untouched.
+        auto it = qp_index_.find(wc.qp_num);
+        if (it != qp_index_.end()) {
+          VerbsConnection::Recovery& rec = it->second->rec;
+          if (rec.deadline != 0 &&
+              ctx_->sim().now() - rec.last_attempt <=
+                  cfg_.recovery_epoch_deadline) {
+            rec.deadline = ctx_->sim().now() + cfg_.recovery_epoch_deadline;
+            if (rec.suspicion > 0) --rec.suspicion;
+          }
+        }
       }
       completed_[wc.wr_id] = wc;
     }
@@ -335,6 +354,94 @@ void VerbsChannelBase::drain_cq() {
       }
     }
   }
+}
+
+void VerbsChannelBase::note_rail_sample(int rail, std::uint64_t bytes,
+                                        double elapsed_usec) {
+  if (!cfg_.health_detector || rail < 0 || rail >= num_rails_ ||
+      elapsed_usec <= 0.0) {
+    return;
+  }
+  RailHealth& h = rail_health_[static_cast<std::size_t>(rail)];
+  const double mbps = static_cast<double>(bytes) / elapsed_usec;
+
+  if (h.quarantined) {
+    // Probation: this sample is a probe's verdict.  Healthy = within the
+    // reinstate factor of the pre-quarantine baseline goodput.
+    const bool healthy =
+        mbps >= cfg_.health_reinstate_factor * h.baseline;
+    if (h.probe_virgin) {
+      h.probe_virgin = false;
+      // The very first probe already measuring healthy means the detector
+      // jumped at noise, not at a degrade.
+      if (healthy) ++false_suspicions_;
+    }
+    if (!healthy) {
+      h.healthy_probes = 0;
+      return;
+    }
+    if (++h.healthy_probes < cfg_.health_reinstate_probes) return;
+    // Reinstate: rejoin the stripe set without a reconnect.  The EWMA
+    // restarts its warmup from the probe's reading -- the healed rail's
+    // goodput, not the degraded history.
+    h.quarantined = false;
+    h.suspicion = 0;
+    h.samples = 1;
+    h.mean = mbps;
+    h.var = 0.0;
+    h.skip_count = 0;
+    h.healthy_probes = 0;
+    degraded_ns_ += static_cast<std::uint64_t>(ctx_->sim().now() - h.since);
+    ++rail_reinstates_;
+    return;
+  }
+
+  // Suspicion test against the EWMA *before* folding the sample in, with
+  // the deviation floored at 10 % of the mean so a near-zero variance
+  // cannot hair-trigger on ordinary jitter.
+  if (h.samples >= static_cast<std::uint64_t>(cfg_.health_warmup)) {
+    const double sigma =
+        std::max(std::sqrt(h.var), 0.1 * h.mean);
+    if (mbps < h.mean - cfg_.health_soft_sigma * sigma) {
+      // Suspicious samples accrue score and are NOT folded into the EWMA:
+      // a degraded rail must not drag its own baseline down until the
+      // degrade looks normal.
+      if (++h.suspicion == cfg_.health_suspicion_trip) {
+        ++suspicion_trips_;
+        // Never quarantine the last usable rail -- a fully-degraded node
+        // still needs a stripe set of one.
+        int usable = 0;
+        for (int r = 0; r < num_rails_; ++r) {
+          if (rail_usable(r)) ++usable;
+        }
+        if (usable > 1) {
+          h.quarantined = true;
+          h.since = ctx_->sim().now();
+          h.baseline = h.mean;
+          h.skip_count = 0;
+          h.healthy_probes = 0;
+          h.probe_virgin = true;
+          ++rail_quarantines_;
+        } else {
+          // Conviction refused; keep accruing so a later-recovered fleet
+          // can still quarantine (score capped at trip by the == above).
+          --h.suspicion;
+        }
+      }
+      return;
+    }
+    if (h.suspicion > 0) --h.suspicion;
+  }
+  if (h.samples == 0) {
+    h.mean = mbps;
+    h.var = 0.0;
+  } else {
+    const double a = cfg_.health_alpha;
+    const double d = mbps - h.mean;
+    h.mean += a * d;
+    h.var = (1.0 - a) * (h.var + a * d * d);
+  }
+  ++h.samples;
 }
 
 bool VerbsChannelBase::take_completion(std::uint64_t wr_id, ib::Wc* out) {
@@ -568,11 +675,21 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
                        now - c.rec.last_attempt > cfg_.recovery_epoch_deadline;
     if (fresh) {
       c.rec.deadline = now + cfg_.recovery_epoch_deadline;
-    } else if (now >= c.rec.deadline) {
+    } else if (now >= c.rec.deadline &&
+               (!cfg_.health_detector ||
+                c.rec.suspicion >= cfg_.health_suspicion_trip)) {
+      // With the health detector on, the deadline alone does not convict:
+      // the episode must also have accrued enough suspicion (attempts with
+      // no completions decaying the score) -- the accrual-detector gate.
       ++c.rec.attempts;
       watchdog_abort(c, "retry-loop");
     }
     c.rec.last_attempt = now;
+    // From here on, successful completions observed by drain_cq count as
+    // episode progress (partial-drain re-arm); the hint is never set on
+    // the fault-free path.
+    wd_hint_ = true;
+    if (cfg_.health_detector) ++c.rec.suspicion;
   }
 
   if (++c.rec.attempts > cfg_.recovery_max_attempts) {
@@ -688,6 +805,7 @@ sim::Task<void> VerbsChannelBase::recover(VerbsConnection& c) {
       local_consumed > c.rec.last_synced_local) {
     c.rec.attempts = 0;
     c.rec.integrity = false;
+    c.rec.suspicion = 0;
     // Progress ends the watchdog episode; the next attempt re-arms afresh.
     if (cfg_.recovery_epoch_deadline > 0) {
       c.rec.deadline = sim.now() + cfg_.recovery_epoch_deadline;

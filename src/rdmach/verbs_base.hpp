@@ -109,6 +109,16 @@ class VerbsConnection : public Connection {
     /// (diagnostic snapshot fodder).
     std::uint64_t nacks = 0;
     std::uint64_t last_nack_epoch = 0;
+    // ---- accrual suspicion (ChannelConfig::health_detector) ---------------
+    /// Per-peer suspicion score: each no-progress recovery attempt accrues
+    /// one unit, every successful completion observed for this connection
+    /// decays one.  With the health detector on, a watchdog conviction
+    /// additionally requires the score to have reached
+    /// health_suspicion_trip -- a slow-but-alive peer whose completions
+    /// keep trickling in accrues suspicion gradually instead of
+    /// binary-tripping at the fixed deadline.  Unused (stays 0) with the
+    /// detector off.
+    int suspicion = 0;
   };
   Recovery rec;
   ib::Node* peer_node = nullptr;  // for CM-style recovery wakeups
@@ -212,6 +222,19 @@ class VerbsChannelBase : public Channel {
     s.qp_thrash = qp_thrash_;
     s.obits_posted = obits_posted_;
     s.obit_fast_fails = obit_fast_fails_;
+    s.rail_quarantines = rail_quarantines_;
+    s.rail_reinstates = rail_reinstates_;
+    s.suspicion_trips = suspicion_trips_;
+    s.false_suspicions = false_suspicions_;
+    s.degraded_ns = degraded_ns_;
+    for (const RailHealth& h : rail_health_) {
+      // Open quarantines count up to "now": a campaign that ends mid-
+      // probation still reports how long the rail has been out.
+      if (h.quarantined) {
+        s.degraded_ns +=
+            static_cast<std::uint64_t>(ctx_->sim().now() - h.since);
+      }
+    }
     s.srq_pool_high_water = srq_pool_.high_water();
     std::uint64_t resident = srq_pool_.bytes();
     for (const auto& c : conns_) {
@@ -240,6 +263,15 @@ class VerbsChannelBase : public Channel {
     qp_thrash_ = 0;
     obits_posted_ = 0;
     obit_fast_fails_ = 0;
+    rail_quarantines_ = 0;
+    rail_reinstates_ = 0;
+    suspicion_trips_ = 0;
+    false_suspicions_ = 0;
+    degraded_ns_ = 0;
+    for (RailHealth& h : rail_health_) {
+      // Restart the open-quarantine clock so per-phase deltas stay exact.
+      if (h.quarantined) h.since = ctx_->sim().now();
+    }
     // qps_live_ / srq high water are state gauges, not counters: they keep
     // describing what is resident right now.
   }
@@ -291,9 +323,20 @@ class VerbsChannelBase : public Channel {
     return ctx_->sim().now() - c.rec.last_attempt <=
            cfg_.recovery_epoch_deadline;
   }
-  /// Armed episode past its deadline?
+  /// Armed episode past its deadline?  With the health detector on, the
+  /// deadline alone does not convict: the connection's accrued suspicion
+  /// must also have reached the trip threshold, so a slow-but-alive peer
+  /// whose completions keep decaying the score is never declared dead by
+  /// the clock alone (the accrual-detector semantics).
   bool watchdog_expired(const VerbsConnection& c) const {
-    return watchdog_armed(c) && ctx_->sim().now() >= c.rec.deadline;
+    if (!watchdog_armed(c) || ctx_->sim().now() < c.rec.deadline) {
+      return false;
+    }
+    if (cfg_.health_detector &&
+        c.rec.suspicion < cfg_.health_suspicion_trip) {
+      return false;
+    }
+    return true;
   }
   /// Declares `c` dead with a diagnostic snapshot: publishes the dead
   /// marker (releasing a peer parked in its own handshake), wakes both
@@ -346,6 +389,55 @@ class VerbsChannelBase : public Channel {
     ++rail_track_[static_cast<std::size_t>(rail)].failovers;
     ++rail_failovers_;
   }
+
+  // ---- gray-failure health monitor (ChannelConfig::health_detector) -------
+  /// Per-rail accrual detector state.  Samples are per-chunk goodput
+  /// observations (MB/s, the selector's unit); suspicious samples accrue a
+  /// score instead of updating the EWMA (so a degraded rail cannot poison
+  /// its own baseline), and crossing the trip threshold quarantines the
+  /// rail out of the stripe set until probation probes measure healthy
+  /// again.  All bookkeeping: no virtual time, no randomness.
+  struct RailHealth {
+    double mean = 0.0;          // goodput EWMA (MB/s)
+    double var = 0.0;           // EWMA of squared deviation
+    std::uint64_t samples = 0;  // healthy samples folded into the EWMA
+    int suspicion = 0;          // accrued suspicion units
+    bool quarantined = false;
+    sim::Tick since = 0;        // quarantine entry (degraded_ns accounting)
+    double baseline = 0.0;      // mean at quarantine entry
+    int skip_count = 0;         // stripe decisions that skipped this rail
+    int healthy_probes = 0;     // consecutive healthy probation probes
+    bool probe_virgin = true;   // first probe decides false_suspicions
+  };
+
+  /// Stripe-set membership test: up AND (detector off OR not quarantined).
+  /// Every adaptive scheduling site (write rail pick, read QP pick, aux-QP
+  /// placement) consults this instead of rail_up() alone.
+  bool rail_usable(int rail) const {
+    if (!rail_up(rail)) return false;
+    if (!cfg_.health_detector) return true;
+    return !rail_health_[static_cast<std::size_t>(rail)].quarantined;
+  }
+  bool rail_quarantined(int rail) const {
+    return cfg_.health_detector && rail >= 0 && rail < num_rails_ &&
+           rail_health_[static_cast<std::size_t>(rail)].quarantined;
+  }
+  /// Probation policy: called by a scheduler each time it skips the
+  /// quarantined `rail`; every health_probe_interval-th skip grants one
+  /// single-chunk probe through it (the caller then schedules exactly one
+  /// chunk there, whose completion sample is the probe's verdict).
+  bool rail_probe_due(int rail) {
+    if (!rail_quarantined(rail) || !rail_up(rail)) return false;
+    RailHealth& h = rail_health_[static_cast<std::size_t>(rail)];
+    if (++h.skip_count >= cfg_.health_probe_interval) {
+      h.skip_count = 0;
+      return true;
+    }
+    return false;
+  }
+  /// Detector input: one completed chunk of `bytes` that took
+  /// `elapsed_usec` on `rail`.  Call beside the selector's record_rail.
+  void note_rail_sample(int rail, std::uint64_t bytes, double elapsed_usec);
 
   // ---- connection recovery ------------------------------------------------
   /// How many units (bytes or slots, the design's choice) of the peer's
@@ -563,6 +655,18 @@ class VerbsChannelBase : public Channel {
   int num_rails_ = 1;
   std::vector<ChannelStats::RailStats> rail_track_;
   std::uint64_t rail_failovers_ = 0;
+  // ---- gray-failure health monitor ----------------------------------------
+  std::vector<RailHealth> rail_health_;  // sized to num_rails_ at init
+  std::uint64_t rail_quarantines_ = 0;
+  std::uint64_t rail_reinstates_ = 0;
+  std::uint64_t suspicion_trips_ = 0;
+  std::uint64_t false_suspicions_ = 0;
+  std::uint64_t degraded_ns_ = 0;  // closed quarantine windows only
+  /// Cheap over-approximation of "some connection has an armed watchdog
+  /// episode": set when recover() arms a deadline, never on the fault-free
+  /// path -- gates the per-CQE qp_index_ lookup that credits successful
+  /// completions as episode progress (drain_cq), so clean runs pay nothing.
+  bool wd_hint_ = false;
   std::unordered_map<std::uint64_t, ib::Wc> completed_;
   /// drain_cq scratch for batched CQ polling (reused across passes so the
   /// hot path never allocates).

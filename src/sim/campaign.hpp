@@ -78,6 +78,39 @@ class FaultCampaign {
       actions_.push_back({Action::kRailDown, rank, 0, 1, rail, true});
       return *this;
     }
+    /// Gray-degrade rank's next `n_ops` WQEs (node scope) with `spec`,
+    /// starting `delta` operations from the phase event.  Heals after the
+    /// window.
+    Rule& degrade(int rank, FaultSchedule::DegradeSpec spec,
+                  std::uint64_t n_ops, std::uint64_t delta = 0) {
+      Action a{Action::kDegrade, rank, delta, n_ops, 0, false};
+      a.spec = spec;
+      actions_.push_back(a);
+      return *this;
+    }
+    /// Gray-degrade the next `n_ops` WQEs initiated through rank's rail
+    /// `rail` -- the per-rail failure domain, so only that rail slows down.
+    Rule& degrade_rail(int rank, int rail, FaultSchedule::DegradeSpec spec,
+                       std::uint64_t n_ops, std::uint64_t delta = 0) {
+      Action a{Action::kDegrade, rank, delta, n_ops, rail, false};
+      a.spec = spec;
+      a.rail_scoped = true;
+      actions_.push_back(a);
+      return *this;
+    }
+    /// Intermittent degrade of rank's rail `rail`: inside the next `n_ops`
+    /// WQEs, `duty` out of every `period` are degraded (flapping link).
+    Rule& flaky_rail(int rank, int rail, FaultSchedule::DegradeSpec spec,
+                     std::uint64_t period, std::uint64_t duty,
+                     std::uint64_t n_ops, std::uint64_t delta = 0) {
+      Action a{Action::kFlaky, rank, delta, n_ops, rail, false};
+      a.spec = spec;
+      a.rail_scoped = true;
+      a.period = period;
+      a.duty = duty;
+      actions_.push_back(a);
+      return *this;
+    }
 
     /// Fire on every `n`th matching occurrence (1 = every occurrence, the
     /// default; 3 = occurrences 0, 3, 6, ... counting from `from()`).
@@ -116,6 +149,8 @@ class FaultCampaign {
         kExhaustCq,
         kExhaustCredit,
         kRailDown,
+        kDegrade,
+        kFlaky,
       };
       Kind kind;
       int rank;
@@ -123,6 +158,10 @@ class FaultCampaign {
       std::uint64_t n;
       int rail;
       bool fatal;
+      FaultSchedule::DegradeSpec spec{};
+      bool rail_scoped = false;
+      std::uint64_t period = 0;
+      std::uint64_t duty = 0;
     };
     std::string phase_;
     std::vector<Action> actions_;
@@ -197,6 +236,22 @@ class FaultCampaign {
       case Rule::Action::kRailDown: {
         const std::string rs = FaultSchedule::rail_scope(scope, a.rail);
         schedule_.kill_from(rs, schedule_.observed(rs));
+        ++armed_;
+        break;
+      }
+      case Rule::Action::kDegrade: {
+        const std::string ds =
+            a.rail_scoped ? FaultSchedule::rail_scope(scope, a.rail) : scope;
+        const std::uint64_t from = schedule_.observed(ds) + delta;
+        schedule_.degrade(ds, from, from + a.n, a.spec);
+        ++armed_;
+        break;
+      }
+      case Rule::Action::kFlaky: {
+        const std::string ds =
+            a.rail_scoped ? FaultSchedule::rail_scope(scope, a.rail) : scope;
+        const std::uint64_t from = schedule_.observed(ds) + delta;
+        schedule_.flaky(ds, a.spec, a.period, a.duty, from, from + a.n);
         ++armed_;
         break;
       }

@@ -13,7 +13,7 @@
 // deterministic, so the Nth operation of a scope is the same operation in
 // every run.
 //
-// Three fault kinds:
+// Four fault kinds:
 //   * kKill    -- the operation dies (transport error; optionally fatal to
 //                 the QP, modelling RC retry exhaustion).
 //   * kCorrupt -- the operation SUCCEEDS but its payload is bit-flipped in
@@ -24,6 +24,14 @@
 //                 resource (registration failure, CQ overrun, no ring
 //                 credit).  Non-fatal by construction: the resource comes
 //                 back once the scheduled window passes.
+//   * kDegrade -- gray failure: the operation still completes, but its link
+//                 service-time model is perturbed (extra latency, reduced
+//                 bandwidth, probabilistic retransmits).  Unlike the
+//                 fail-stop kinds, degrades HEAL: they apply to an op-index
+//                 window [from, until) and the scope returns to full health
+//                 afterwards.  Delivered through degrade_at(), not check(),
+//                 because a degrade is a property of a window of operations
+//                 rather than of one victim op.
 #pragma once
 
 #include <cstdint>
@@ -31,13 +39,14 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace sim {
 
 class FaultSchedule {
  public:
   struct Fault {
-    enum class Kind { kKill, kCorrupt, kExhaust };
+    enum class Kind { kKill, kCorrupt, kExhaust, kDegrade };
     Kind kind = Kind::kKill;
     /// kKill only.  A fatal fault models real RC retry exhaustion: the
     /// victim completes with a transport error AND the QP transitions to
@@ -46,6 +55,27 @@ class FaultSchedule {
     /// the in-order delivery guarantee for anything posted behind the
     /// victim.
     bool fatal = true;
+  };
+
+  /// Gray-failure shape applied to operations inside a degrade window.  A
+  /// default-constructed spec is a no-op (active() == false); composing two
+  /// specs stacks their effects (latencies add, multipliers multiply, drop
+  /// probabilities combine as independent events).
+  struct DegradeSpec {
+    std::int64_t latency_add = 0;  ///< extra wire latency, ticks (ns)
+    double latency_mult = 1.0;     ///< wire-latency multiplier
+    double bandwidth_mult = 1.0;   ///< link-rate multiplier (0.1 = 10 % bw)
+    double drop_prob = 0.0;        ///< per-attempt loss -> link-level retry
+    bool active() const noexcept {
+      return latency_add != 0 || latency_mult != 1.0 ||
+             bandwidth_mult != 1.0 || drop_prob != 0.0;
+    }
+    void compose(const DegradeSpec& o) noexcept {
+      latency_add += o.latency_add;
+      latency_mult *= o.latency_mult;
+      bandwidth_mult *= o.bandwidth_mult;
+      drop_prob = 1.0 - (1.0 - drop_prob) * (1.0 - o.drop_prob);
+    }
   };
 
   /// Scope string the QP engines consult once per WQE initiated through
@@ -115,6 +145,50 @@ class FaultSchedule {
     }
   }
 
+  /// Degrades operations [from, until) of `scope` with `spec`.  Heals: ops
+  /// at index >= until see full health again.  Windows stack: an op covered
+  /// by several windows sees their composed spec.  Degrades live beside the
+  /// fail-stop plans and never consume check() victim slots, so a degrade
+  /// window and a kill can target the same op index independently.
+  void degrade(const std::string& scope, std::uint64_t from,
+               std::uint64_t until, DegradeSpec spec) {
+    scopes_[scope].degrades.push_back(
+        DegradeWindow{from, until, spec, /*period=*/0, /*duty=*/0});
+    ++degrade_windows_;
+  }
+
+  /// Intermittent degrade: within [from, until), op i is degraded iff
+  /// ((i - from) % period) < duty -- `duty` bad ops out of every `period`,
+  /// modelling a flapping link.  period == 0 degenerates to degrade().
+  void flaky(const std::string& scope, DegradeSpec spec, std::uint64_t period,
+             std::uint64_t duty, std::uint64_t from = 0,
+             std::uint64_t until = kForever) {
+    scopes_[scope].degrades.push_back(
+        DegradeWindow{from, until, spec, period, duty});
+    ++degrade_windows_;
+  }
+
+  /// Any degrade windows armed at all?  Hot-path guard mirroring
+  /// any_rank_down(): fault-free traces skip the per-op window scan.
+  bool any_degrade() const noexcept { return degrade_windows_ > 0; }
+
+  /// Composed degrade spec covering operation `idx` of `scope` (the same
+  /// op counter check() advances: call check() first, then query index
+  /// observed(scope) - 1).  Returns an inactive spec outside all windows.
+  DegradeSpec degrade_at(const std::string& scope, std::uint64_t idx) {
+    DegradeSpec out;
+    auto it = scopes_.find(scope);
+    if (it == scopes_.end()) return out;
+    for (const DegradeWindow& w : it->second.degrades) {
+      if (w.covers(idx)) out.compose(w.spec);
+    }
+    if (out.active()) ++degraded_ops_;
+    return out;
+  }
+
+  /// Operations that have fallen inside an active degrade window so far.
+  std::uint64_t degraded_ops() const noexcept { return degraded_ops_; }
+
   /// Instrumentation hook: counts one operation in `scope` and returns the
   /// fault scheduled for it, if any.
   std::optional<Fault> check(const std::string& scope) {
@@ -138,16 +212,36 @@ class FaultSchedule {
   /// Total faults delivered across all scopes (all kinds).
   std::uint64_t killed() const noexcept { return delivered_; }
 
+  /// Sentinel "never heals" window end for degrade()/flaky().
+  static constexpr std::uint64_t kForever =
+      ~static_cast<std::uint64_t>(0);
+
  private:
+  struct DegradeWindow {
+    std::uint64_t from = 0;
+    std::uint64_t until = kForever;  // [from, until)
+    DegradeSpec spec;
+    std::uint64_t period = 0;  // 0 = steady window
+    std::uint64_t duty = 0;    // degraded ops per period
+    bool covers(std::uint64_t idx) const noexcept {
+      if (idx < from || idx >= until) return false;
+      if (period == 0) return true;
+      return ((idx - from) % period) < duty;
+    }
+  };
+
   struct Scope {
     std::map<std::uint64_t, Fault> plans;
     std::optional<std::pair<std::uint64_t, Fault>> all_from;
+    std::vector<DegradeWindow> degrades;
     std::uint64_t count = 0;
   };
 
   std::map<std::string, Scope> scopes_;
   std::map<std::string, std::uint64_t> rank_down_at_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t degrade_windows_ = 0;
+  std::uint64_t degraded_ops_ = 0;
 };
 
 }  // namespace sim

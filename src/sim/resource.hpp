@@ -51,9 +51,20 @@ class BandwidthResource {
   /// future).  Books the first gap that fits; requests arriving later may
   /// still fill earlier gaps.
   Tick reserve_from(Tick earliest, std::int64_t bytes) {
+    return reserve_from(earliest, bytes, 1.0);
+  }
+
+  /// reserve_from() with a service-time multiplier, used by gray-failure
+  /// degrades (bandwidth_mult 0.1 -> time_mult 10).  time_mult == 1.0 takes
+  /// the exact same arithmetic path as the plain overload, so fault-free
+  /// traces stay bit-identical.
+  Tick reserve_from(Tick earliest, std::int64_t bytes, double time_mult) {
     const Tick now = sim_->now();
     prune(now);
-    const Tick dur = transfer_time(bytes, rate_mbps_);
+    Tick dur = transfer_time(bytes, rate_mbps_);
+    if (time_mult != 1.0) {
+      dur = static_cast<Tick>(static_cast<double>(dur) * time_mult);
+    }
     Tick start = earliest > now ? earliest : now;
     std::size_t pos = 0;
     for (; pos < busy_.size(); ++pos) {

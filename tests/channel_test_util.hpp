@@ -107,6 +107,38 @@ struct FaultPlan {
     schedule.exhaust(scope_of(rank) + ".credit", from, n);
     return *this;
   }
+
+  /// Gray-degrades rank's WQEs [from, until) with `spec` (node scope; the
+  /// link heals once the window passes).
+  FaultPlan& degrade(int rank, sim::FaultSchedule::DegradeSpec spec,
+                     std::uint64_t from = 0,
+                     std::uint64_t until = sim::FaultSchedule::kForever) {
+    schedule.degrade(scope_of(rank), from, until, spec);
+    return *this;
+  }
+
+  /// Gray-degrades WQEs [from, until) initiated through rank's rail `rail`
+  /// only -- the other rails stay at full health.
+  FaultPlan& degrade_rail(int rank, int rail,
+                          sim::FaultSchedule::DegradeSpec spec,
+                          std::uint64_t from = 0,
+                          std::uint64_t until = sim::FaultSchedule::kForever) {
+    schedule.degrade(sim::FaultSchedule::rail_scope(scope_of(rank), rail),
+                     from, until, spec);
+    return *this;
+  }
+
+  /// Flapping link: inside [from, until), `duty` of every `period` WQEs on
+  /// rank's rail `rail` are degraded by `spec`.
+  FaultPlan& flaky_rail(int rank, int rail,
+                        sim::FaultSchedule::DegradeSpec spec,
+                        std::uint64_t period, std::uint64_t duty,
+                        std::uint64_t from = 0,
+                        std::uint64_t until = sim::FaultSchedule::kForever) {
+    schedule.flaky(sim::FaultSchedule::rail_scope(scope_of(rank), rail), spec,
+                   period, duty, from, until);
+    return *this;
+  }
 };
 
 /// Randomized put-sized message stream.  `bytes` is the full concatenated

@@ -474,5 +474,114 @@ TEST(FaultCampaign, RailDownAndExhaustUseScopedCounters) {
   EXPECT_EQ(cq, (std::vector<std::uint64_t>{1, 2}));
 }
 
+TEST(FaultSchedule, DegradeWindowHealsAndCounts) {
+  FaultSchedule s;
+  EXPECT_FALSE(s.any_degrade());
+  FaultSchedule::DegradeSpec spec;
+  spec.latency_mult = 10.0;
+  s.degrade("node0", /*from=*/2, /*until=*/5, spec);
+  EXPECT_TRUE(s.any_degrade());
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto d = s.degrade_at("node0", i);
+    EXPECT_EQ(d.active(), i >= 2 && i < 5) << "op " << i;
+  }
+  EXPECT_EQ(s.degraded_ops(), 3u);  // only ops 2, 3, 4 were inside
+  // A different scope never sees the window.
+  EXPECT_FALSE(s.degrade_at("node1", 3).active());
+}
+
+TEST(FaultSchedule, OverlappingDegradeWindowsCompose) {
+  FaultSchedule s;
+  FaultSchedule::DegradeSpec a;
+  a.latency_add = 100;
+  a.bandwidth_mult = 0.5;
+  FaultSchedule::DegradeSpec b;
+  b.latency_add = 50;
+  b.bandwidth_mult = 0.5;
+  b.drop_prob = 0.5;
+  s.degrade("n", 0, 10, a);
+  s.degrade("n", 5, 15, b);
+  const auto only_a = s.degrade_at("n", 2);
+  EXPECT_EQ(only_a.latency_add, 100);
+  EXPECT_DOUBLE_EQ(only_a.bandwidth_mult, 0.5);
+  const auto both = s.degrade_at("n", 7);  // covered by a AND b: stacked
+  EXPECT_EQ(both.latency_add, 150);
+  EXPECT_DOUBLE_EQ(both.bandwidth_mult, 0.25);
+  EXPECT_DOUBLE_EQ(both.drop_prob, 0.5);
+  const auto only_b = s.degrade_at("n", 12);
+  EXPECT_EQ(only_b.latency_add, 50);
+  EXPECT_FALSE(s.degrade_at("n", 15).active());  // both healed
+}
+
+TEST(FaultSchedule, FlakyDutyCycleAndForeverWindow) {
+  FaultSchedule s;
+  FaultSchedule::DegradeSpec spec;
+  spec.latency_add = 1;
+  // duty 2 of every 4, window [4, 12): degraded ops are 4,5, 8,9.
+  s.flaky("n", spec, /*period=*/4, /*duty=*/2, /*from=*/4, /*until=*/12);
+  std::vector<std::uint64_t> hit;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (s.degrade_at("n", i).active()) hit.push_back(i);
+  }
+  EXPECT_EQ(hit, (std::vector<std::uint64_t>{4, 5, 8, 9}));
+  // Default window is forever (a permanently flapping link).
+  FaultSchedule s2;
+  s2.flaky("m", spec, 2, 1);
+  EXPECT_TRUE(s2.degrade_at("m", 1'000'000).active());
+  EXPECT_FALSE(s2.degrade_at("m", 1'000'001).active());
+}
+
+TEST(FaultSchedule, DegradeNeverConsumesCheckVictims) {
+  FaultSchedule s;
+  FaultSchedule::DegradeSpec spec;
+  spec.bandwidth_mult = 0.1;
+  s.degrade("n", 0, 10, spec);
+  s.kill("n", 3);
+  // check() sees only the kill; the degrade rides beside it on the same
+  // op index without shifting the victim slot.
+  const auto hits = drain(s, "n", 10);
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{3}));
+  EXPECT_TRUE(s.degrade_at("n", 3).active());
+  EXPECT_EQ(s.killed(), 1u);  // degrades are not "delivered faults"
+}
+
+TEST(FaultCampaign, DegradeBuildersArmRelativeToObserved) {
+  FaultCampaign c;
+  FaultSchedule::DegradeSpec spec;
+  spec.latency_mult = 4.0;
+  c.at_phase("p").degrade(0, spec, /*n_ops=*/3, /*delta=*/1);
+  c.at_phase("p").degrade_rail(1, 1, spec, /*n_ops=*/2);
+  drain(c.schedule(), "node0", 4);  // four ops pass before the phase
+  c.on_phase("p");
+  EXPECT_EQ(c.armed(), 2u);
+  // Node scope: window is [observed(4) + delta(1), +3) = [5, 8).
+  EXPECT_FALSE(c.schedule().degrade_at("node0", 4).active());
+  EXPECT_TRUE(c.schedule().degrade_at("node0", 5).active());
+  EXPECT_TRUE(c.schedule().degrade_at("node0", 7).active());
+  EXPECT_FALSE(c.schedule().degrade_at("node0", 8).active());
+  // Rail scope keys against its own counter (nothing observed: [0, 2)) and
+  // stays out of the node scope -- sub-scope windows are independent, the
+  // WQE site composes them.
+  const std::string rs = FaultSchedule::rail_scope("node1", 1);
+  EXPECT_TRUE(c.schedule().degrade_at(rs, 0).active());
+  EXPECT_FALSE(c.schedule().degrade_at(rs, 2).active());
+  EXPECT_FALSE(c.schedule().degrade_at("node1", 0).active());
+}
+
+TEST(FaultCampaign, FlakyRailBuilderSetsDutyCycle) {
+  FaultCampaign c;
+  FaultSchedule::DegradeSpec spec;
+  spec.drop_prob = 0.5;
+  c.at_phase("p").flaky_rail(2, 0, spec, /*period=*/3, /*duty=*/1,
+                             /*n_ops=*/6);
+  c.on_phase("p");
+  const std::string rs = FaultSchedule::rail_scope("node2", 0);
+  std::vector<std::uint64_t> hit;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    if (c.schedule().degrade_at(rs, i).active()) hit.push_back(i);
+  }
+  EXPECT_EQ(hit, (std::vector<std::uint64_t>{0, 3}));  // healed at 6
+}
+
 }  // namespace
 }  // namespace sim
